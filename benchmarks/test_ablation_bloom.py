@@ -1,0 +1,109 @@
+"""Ablation (Section 3.1): Bloom filters.
+
+Measures point-read cost and insert-if-not-exists cost with and without
+Bloom filters on the same multi-component tree.  The paper's numbers:
+filters cut worst-case read amplification from N (one probe per
+component) to ``1 + N/100`` at a 1 % false-positive rate, and make the
+existence check of ``insert if not exists`` free for absent keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import SCALE, make_blsm, report
+from repro.ycsb import WorkloadSpec, load_phase
+from repro.ycsb.generator import make_key
+
+
+def _build(with_bloom):
+    engine = make_blsm(with_bloom_filters=with_bloom)
+    spec = WorkloadSpec(
+        record_count=SCALE.record_count,
+        operation_count=0,
+        value_bytes=SCALE.value_bytes,
+    )
+    load_phase(engine, spec, seed=31)
+    return engine
+
+
+def _seeks_per(engine, fn, n):
+    before = engine.seeks()
+    for i in range(n):
+        fn(i)
+    return (engine.seeks() - before) / n
+
+
+def _measure():
+    rng = random.Random(32)
+    rows = {}
+    for label, with_bloom in (("with bloom", True), ("without bloom", False)):
+        engine = _build(with_bloom)
+        existing = [
+            make_key(rng.randrange(SCALE.record_count), ordered=False)
+            for _ in range(200)
+        ]
+        absent = [
+            existing[i % len(existing)] + b"-absent" for i in range(200)
+        ]
+        rows[label] = {
+            "present read": _seeks_per(
+                engine, lambda i: engine.get(existing[i]), len(existing)
+            ),
+            "absent read": _seeks_per(
+                engine, lambda i: engine.get(absent[i]), len(absent)
+            ),
+            "insert-if-not-exists (new)": _seeks_per(
+                engine,
+                lambda i: engine.insert_if_not_exists(
+                    absent[i] + b"-n", bytes(64)
+                ),
+                len(absent),
+            ),
+            "bloom RAM (bytes)": _bloom_bytes(engine),
+        }
+    return rows
+
+
+def _bloom_bytes(engine):
+    total = 0
+    tree = engine.tree
+    for component in (tree._c1, tree._c1_prime, tree._c2):
+        if component is not None and component.bloom is not None:
+            total += component.bloom.nbytes
+    return total
+
+
+def test_ablation_bloom_filters(run_once):
+    rows = run_once(_measure)
+
+    metrics = [m for m in rows["with bloom"] if m != "bloom RAM (bytes)"]
+    lines = [
+        f"{'operation':28s}{'with bloom':>12s}{'without':>12s}  (seeks/op)"
+    ]
+    for metric in metrics:
+        lines.append(
+            f"{metric:28s}{rows['with bloom'][metric]:12.2f}"
+            f"{rows['without bloom'][metric]:12.2f}"
+        )
+    lines.append(
+        f"{'bloom filter RAM':28s}"
+        f"{rows['with bloom']['bloom RAM (bytes)']:12.0f}"
+        f"{rows['without bloom']['bloom RAM (bytes)']:12.0f}"
+    )
+    report("ablation_bloom", lines)
+
+    with_bloom, without = rows["with bloom"], rows["without bloom"]
+    # Present reads: ~1 seek either way (the right component is found
+    # quickly); filters must not make them worse.
+    assert with_bloom["present read"] <= without["present read"] + 0.1
+    # Absent reads: filters answer for free; without them every
+    # component in whose key range the key falls is probed.
+    assert with_bloom["absent read"] < 0.3
+    assert without["absent read"] > 3 * max(0.1, with_bloom["absent read"])
+    # Zero-seek insert-if-not-exists needs the filters (Section 3.1.2).
+    assert with_bloom["insert-if-not-exists (new)"] < 0.3
+    assert without["insert-if-not-exists (new)"] > 0.8
+    # The price: ~1.25 bytes of RAM per key (Appendix A).
+    per_key = with_bloom["bloom RAM (bytes)"] / SCALE.record_count
+    assert 0.8 < per_key < 3.0

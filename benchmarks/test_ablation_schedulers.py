@@ -1,0 +1,71 @@
+"""Ablation (Sections 4.1-4.3): naive vs gear vs spring-and-gear.
+
+The paper's central engineering claim is that a *level scheduler* bounds
+write latency without hurting throughput.  This ablation runs the same
+uniform insert stream under all three schedulers and compares worst-case
+insert latency and overall throughput:
+
+* the naive scheduler (base LSM algorithm) has pass-sized stalls;
+* gear bounds latency by pacing merges against C0's fill;
+* spring-and-gear additionally composes with snowshoveling, buying the
+  effective-C0 factor without reintroducing stalls.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALE, make_blsm, report
+from repro.ycsb import WorkloadSpec, load_phase
+
+CONFIGS = [
+    ("naive (base LSM)", dict(scheduler="naive", snowshovel=False)),
+    ("gear", dict(scheduler="gear", snowshovel=False)),
+    ("spring+gear", dict(scheduler="spring_gear", snowshovel=True)),
+]
+
+
+def _measure():
+    spec = WorkloadSpec(
+        record_count=SCALE.record_count * 2,
+        operation_count=0,
+        value_bytes=SCALE.value_bytes,
+    )
+    rows = {}
+    for name, overrides in CONFIGS:
+        engine = make_blsm(**overrides)
+        result = load_phase(engine, spec, seed=21)
+        stats = result.all_latencies()
+        rows[name] = {
+            "throughput": result.throughput,
+            "p99_ms": stats.percentile(99) * 1e3,
+            "p999_ms": stats.percentile(99.9) * 1e3,
+            "max_ms": stats.max * 1e3,
+        }
+    return rows
+
+
+def test_ablation_merge_schedulers(run_once):
+    rows = run_once(_measure)
+
+    lines = [
+        f"{'scheduler':20s}{'ops/s':>10s}{'p99 (ms)':>10s}"
+        f"{'p99.9 (ms)':>12s}{'max (ms)':>10s}"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:20s}{row['throughput']:10.0f}{row['p99_ms']:10.2f}"
+            f"{row['p999_ms']:12.2f}{row['max_ms']:10.2f}"
+        )
+    report("ablation_schedulers", lines)
+
+    naive = rows["naive (base LSM)"]
+    gear = rows["gear"]
+    spring = rows["spring+gear"]
+    # Level schedulers bound the worst-case stall the naive policy takes.
+    assert spring["max_ms"] < naive["max_ms"] / 2
+    assert gear["max_ms"] < naive["max_ms"]
+    # ... without sacrificing throughput (Section 4: "bounds write
+    # latency without impacting throughput").
+    assert spring["throughput"] > 0.7 * naive["throughput"]
+    # Snowshoveling's effective-C0 boost shows up as throughput over the
+    # C0/C0'-partitioned gear configuration.
+    assert spring["throughput"] > gear["throughput"]

@@ -1,0 +1,100 @@
+"""Ablation (Section 4.2): snowshoveling.
+
+Two measurements:
+
+1. Run-length multipliers from replacement selection — the paper's
+   arithmetic: ~2x memory for random arrivals, 1x for reverse-sorted,
+   and the entire input for sorted arrivals ("it streams them directly
+   to disk").
+2. End-to-end insert throughput with snowshoveling on vs off (the off
+   configuration freezes C0 into C0', halving the write pool), for
+   random and sorted arrival orders.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import SCALE, make_blsm, report
+from repro.memtable import replacement_selection_runs
+from repro.memtable.snowshovel import run_length_multiplier
+from repro.ycsb import WorkloadSpec, load_phase
+
+_MEMORY_ITEMS = 400
+_INPUT_ITEMS = 8000
+
+
+def _arrivals(order):
+    keys = [b"%08d" % i for i in range(_INPUT_ITEMS)]
+    if order == "sorted":
+        return keys
+    if order == "reverse":
+        return list(reversed(keys))
+    rng = random.Random(23)
+    rng.shuffle(keys)
+    return keys
+
+
+def _run_lengths():
+    return {
+        order: run_length_multiplier(_arrivals(order), _MEMORY_ITEMS)
+        for order in ("sorted", "random", "reverse")
+    }
+
+
+def _insert_throughput(snowshovel, ordered):
+    engine = make_blsm(snowshovel=snowshovel)
+    spec = WorkloadSpec(
+        record_count=SCALE.record_count,
+        operation_count=0,
+        value_bytes=SCALE.value_bytes,
+        ordered_inserts=ordered,
+    )
+    return load_phase(engine, spec, seed=24).throughput
+
+
+def _measure():
+    return {
+        "multipliers": _run_lengths(),
+        "random": {
+            "snowshovel": _insert_throughput(True, ordered=False),
+            "frozen C0'": _insert_throughput(False, ordered=False),
+        },
+        "sorted": {
+            "snowshovel": _insert_throughput(True, ordered=True),
+            "frozen C0'": _insert_throughput(False, ordered=True),
+        },
+    }
+
+
+def test_ablation_snowshovel(run_once):
+    results = run_once(_measure)
+
+    multipliers = results["multipliers"]
+    lines = ["Run length as a multiple of memory (replacement selection):"]
+    for order, value in multipliers.items():
+        lines.append(f"  {order:8s} arrivals: {value:8.2f}x")
+    lines.append("")
+    lines.append(f"{'insert order':14s}{'snowshovel':>12s}{'frozen C0-prime':>17s}")
+    frozen = "frozen C0'"
+    for order in ("random", "sorted"):
+        lines.append(
+            f"{order:14s}{results[order]['snowshovel']:12.0f}"
+            f"{results[order][frozen]:17.0f}"
+        )
+    report("ablation_snowshovel", lines)
+
+    # Section 4.2's run-length arithmetic.
+    assert 1.7 < multipliers["random"] < 2.4
+    assert multipliers["reverse"] <= 1.1
+    assert multipliers["sorted"] > 10  # one run consumes the whole input
+    # Snowshoveling raises write throughput for random arrivals
+    # (bigger effective C0 means fewer C1 rewrites per byte).
+    assert results["random"]["snowshovel"] > results["random"]["frozen C0'"]
+
+
+def test_snowshovel_runs_cover_input(run_once):
+    runs = run_once(
+        replacement_selection_runs, _arrivals("random"), _MEMORY_ITEMS
+    )
+    assert sorted(k for run in runs for k in run) == sorted(_arrivals("random"))

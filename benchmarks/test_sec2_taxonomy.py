@@ -1,0 +1,92 @@
+"""Section 2's storage taxonomy, measured.
+
+The paper's background frames three disk-layout classes and their
+defining trade:
+
+* **update-in-place B-Trees** — optimal reads, seek-bound writes;
+* **ordered log-structured** (bLSM) — sequential writes with merge
+  amplification, near-optimal reads with Bloom filters, real scans;
+* **unordered log-structured** (BitCask-style) — the highest write
+  throughput ("order of magnitude differences are not uncommon"), but
+  "unordered stores do not provide efficient scan operations", which
+  is why the paper rules them out for PNUTS and Walnut.
+
+One workload, four engines, the trade-offs in one table.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SCALE, make_blsm, make_btree, report
+from repro.baselines import BitCaskEngine
+from repro.sim import DiskModel
+from repro.ycsb import WorkloadSpec, load_phase, run_workload
+
+
+def _measure_engine(engine):
+    load = WorkloadSpec(
+        record_count=SCALE.record_count,
+        operation_count=0,
+        value_bytes=SCALE.value_bytes,
+    )
+    load_result = load_phase(engine, load, seed=151)
+    engine.flush()
+    reads = WorkloadSpec(
+        record_count=SCALE.record_count,
+        operation_count=800,
+        read_proportion=1.0,
+        value_bytes=SCALE.value_bytes,
+    )
+    read_result = run_workload(engine, reads, seed=152)
+    scans = WorkloadSpec(
+        record_count=SCALE.record_count,
+        operation_count=100,
+        scan_proportion=1.0,
+        scan_length_min=50,
+        scan_length_max=100,
+        value_bytes=SCALE.value_bytes,
+    )
+    scan_result = run_workload(engine, scans, seed=153)
+    return {
+        "write_ops": load_result.throughput,
+        "read_ops": read_result.throughput,
+        "scan_ops": scan_result.throughput,
+    }
+
+
+def _measure():
+    return {
+        "InnoDB (update-in-place)": _measure_engine(make_btree()),
+        "bLSM (ordered log)": _measure_engine(make_blsm()),
+        "BitCask (unordered log)": _measure_engine(
+            BitCaskEngine(disk_model=DiskModel.hdd())
+        ),
+    }
+
+
+def test_sec2_storage_taxonomy(run_once):
+    rows = run_once(_measure)
+
+    lines = [
+        f"{'class':26s}{'writes/s':>10s}{'reads/s':>10s}{'scans/s':>10s}"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:26s}{row['write_ops']:10.0f}{row['read_ops']:10.0f}"
+            f"{row['scan_ops']:10.0f}"
+        )
+    report("sec2_taxonomy", lines)
+
+    btree = rows["InnoDB (update-in-place)"]
+    blsm = rows["bLSM (ordered log)"]
+    bitcask = rows["BitCask (unordered log)"]
+    # Write throughput ordering: unordered >> ordered >> update-in-place
+    # ("order of magnitude differences are not uncommon", §2).
+    assert bitcask["write_ops"] > 3 * blsm["write_ops"]
+    assert blsm["write_ops"] > 3 * btree["write_ops"]
+    # Reads: all classes manage ~1 seek; nobody collapses.
+    assert min(r["read_ops"] for r in rows.values()) > 0.3 * max(
+        r["read_ops"] for r in rows.values()
+    )
+    # Scans: the unordered store pays a seek per row and loses badly —
+    # the reason the paper cannot use it (§2).
+    assert bitcask["scan_ops"] < 0.35 * blsm["scan_ops"]

@@ -1,0 +1,147 @@
+"""Table 1: seeks per operation for bLSM, B-Tree and LevelDB.
+
+Regenerates the paper's summary-of-results table by running each
+operation class against each engine on the simulated hard disk and
+counting device seeks.  The paper's claims, which the assertions encode:
+
+* point lookup — bLSM 1, B-Tree 1, LevelDB O(log n) (multiple);
+* read-modify-write — bLSM 1, B-Tree 2;
+* apply delta — bLSM 0, B-Tree 2, LevelDB 0;
+* insert/overwrite — bLSM 0, B-Tree 2, LevelDB 0;
+* long scans — B-Tree up to one seek per page (fragmentation),
+  bLSM a small constant.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import SCALE, make_blsm, make_btree, make_leveldb, report
+from repro.baselines import PartitionedBLSMEngine
+from repro.core import BLSMOptions
+from repro.sim import DiskModel
+from repro.ycsb import WorkloadSpec, load_phase
+
+
+def _make_partitioned():
+    return PartitionedBLSMEngine(
+        BLSMOptions(
+            c0_bytes=SCALE.c0_bytes,
+            buffer_pool_pages=SCALE.cache_pages(4096),
+            disk_model=DiskModel.hdd(),
+        ),
+        max_partition_bytes=2 * SCALE.c0_bytes,
+    )
+
+
+def _loaded_engines():
+    spec = WorkloadSpec(
+        record_count=SCALE.record_count,
+        operation_count=0,
+        value_bytes=SCALE.value_bytes,
+    )
+    engines = {
+        "bLSM": make_blsm(),
+        "bLSM-part": _make_partitioned(),
+        "B-Tree": make_btree(),
+        "LevelDB": make_leveldb(),
+    }
+    for engine in engines.values():
+        load_phase(engine, spec, seed=1)
+        engine.flush()
+    # bLSM stays in its natural multi-component state (C1/C1'/C2), which
+    # is what Table 1's 2-3 seek scan costs reflect; the partitioned
+    # variant settles each partition to at most C1+C2 (the 2-seek row).
+    engines["bLSM-part"].tree.drain()
+    return engines
+
+
+def _seeks_per_op(engine, operation, n):
+    # Update-in-place engines defer their write seek to page writeback;
+    # flushing before and after attributes those seeks to this phase.
+    engine.flush()
+    before = engine.seeks()
+    for i in range(n):
+        operation(i)
+    engine.flush()
+    return (engine.seeks() - before) / n
+
+
+def _measure(engines):
+    from repro.ycsb.generator import make_key
+
+    rng = random.Random(9)
+    existing = [make_key(i, ordered=False) for i in range(SCALE.record_count)]
+    value = bytes(SCALE.value_bytes)
+    rows: dict[str, dict[str, float]] = {}
+    for name, engine in engines.items():
+        pick = lambda: existing[rng.randrange(len(existing))]
+        rows[name] = {
+            "point lookup": _seeks_per_op(
+                engine, lambda i: engine.get(pick()), 200
+            ),
+            "read-modify-write": _seeks_per_op(
+                engine,
+                lambda i: engine.read_modify_write(pick(), lambda _: value),
+                100,
+            ),
+            "apply delta": _seeks_per_op(
+                engine, lambda i: engine.apply_delta(pick(), b"+d"), 100
+            ),
+            "insert/overwrite": _seeks_per_op(
+                engine, lambda i: engine.put(pick(), value), 100
+            ),
+            "short scan (<=1 page)": _seeks_per_op(
+                engine, lambda i: list(engine.scan(pick(), limit=3)), 50
+            ),
+            "long scan (100 rows)": _seeks_per_op(
+                engine, lambda i: list(engine.scan(pick(), limit=100)), 20
+            ),
+        }
+    return rows
+
+
+def test_table1_seeks_per_operation(run_once):
+    engines = _loaded_engines()
+    rows = run_once(_measure, engines)
+
+    operations = list(next(iter(rows.values())))
+    lines = [f"{'operation':24s}" + "".join(f"{n:>10s}" for n in rows)]
+    for op in operations:
+        lines.append(
+            f"{op:24s}"
+            + "".join(f"{rows[name][op]:10.2f}" for name in rows)
+        )
+    report("table1_seeks_per_operation", lines)
+
+    blsm, btree, leveldb = rows["bLSM"], rows["B-Tree"], rows["LevelDB"]
+    parted = rows["bLSM-part"]
+    # Table 1's footnoted claim (§3.3): with partitioning, scans outside
+    # the merging partition need only two seeks.  (The unpartitioned
+    # tree needs 2-3 depending on whether C1' exists at measurement
+    # time, so the comparison allows that noise band.)
+    assert parted["short scan (<=1 page)"] <= 2.5
+    assert (
+        parted["short scan (<=1 page)"]
+        <= blsm["short scan (<=1 page)"] + 0.25
+    )
+    assert parted["point lookup"] <= 1.3
+    assert parted["insert/overwrite"] <= 0.3
+    # Point lookups: both bLSM and the B-Tree do ~1 seek; LevelDB does more.
+    assert blsm["point lookup"] <= 1.3
+    assert btree["point lookup"] <= 1.3
+    assert leveldb["point lookup"] > 1.5
+    # Read-modify-write: bLSM ~1 seek, B-Tree ~2.
+    assert blsm["read-modify-write"] <= 1.4
+    assert btree["read-modify-write"] >= 1.4
+    assert btree["read-modify-write"] > blsm["read-modify-write"]
+    # Blind writes and deltas: zero seeks for the log-structured engines.
+    assert blsm["apply delta"] <= 0.3
+    assert leveldb["apply delta"] <= 0.3
+    assert btree["apply delta"] >= 1.4
+    assert blsm["insert/overwrite"] <= 0.3
+    assert btree["insert/overwrite"] >= 1.4
+    # Long scans: the fragmented B-Tree seeks per page; bLSM stays flat.
+    assert btree["long scan (100 rows)"] > blsm["long scan (100 rows)"]
+    # Short scans: the B-Tree reads one page, bLSM touches each component.
+    assert btree["short scan (<=1 page)"] <= blsm["short scan (<=1 page)"] + 1.5

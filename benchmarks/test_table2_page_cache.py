@@ -1,0 +1,76 @@
+"""Table 2 (Appendix A): RAM required to cache B-Tree index nodes.
+
+Regenerates the paper's table of GB of index cache per drive for four
+device classes across access frequencies, using the five-minute-rule
+variant implemented in :mod:`repro.analysis.five_minute`.  Assertions
+pin the cells to the published values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.analysis import STANDARD_DEVICES, cache_gb_table
+
+
+def _render(rows):
+    lines = [
+        f"{'Access Frequency':18s}"
+        + "".join(f"{device.name:>12s}" for device in STANDARD_DEVICES)
+    ]
+    for label, cells in rows:
+        row = f"{label:18s}"
+        for cell in cells:
+            row += f"{'-':>12s}" if cell is None else f"{cell:12.3f}"
+        lines.append(row)
+    return lines
+
+
+#: (row label, column index, expected GB) from the published table.
+PAPER_CELLS = [
+    ("Minute", 0, 0.302),
+    ("Minute", 1, 6.03),
+    ("Minute", 2, 0.003),
+    ("Minute", 3, 0.002),
+    ("Five minute", 0, 1.51),
+    ("Five minute", 1, 30.2),
+    ("Half hour", 0, 9.05),
+    ("Half hour", 2, 0.091),
+    ("Hour", 2, 0.181),
+    ("Day", 2, 4.35),
+    ("Week", 3, 15.2),
+    ("Full disk", 0, 12.5),
+    ("Full disk", 1, 122),
+    ("Full disk", 2, 7.32),
+    ("Full disk", 3, 48.8),
+]
+
+#: Cells the paper prints as '-' (capacity-bound regime).
+PAPER_DASHES = [
+    ("Half hour", 1),
+    ("Hour", 0),
+    ("Hour", 1),
+    ("Day", 0),
+    ("Week", 0),
+    ("Week", 2),
+    ("Month", 0),
+    ("Month", 3),
+]
+
+
+def test_table2_cache_requirements(run_once):
+    rows = run_once(cache_gb_table)
+    report("table2_page_cache", _render(rows))
+
+    table = {label: cells for label, cells in rows}
+    for label, column, expected in PAPER_CELLS:
+        got = table[label][column]
+        assert got is not None
+        # rel for the big cells; abs soaks up the paper's 3-decimal rounding
+        assert got == pytest.approx(expected, rel=0.05, abs=0.001), (
+            label,
+            column,
+        )
+    for label, column in PAPER_DASHES:
+        assert table[label][column] is None, (label, column)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Crash recovery and durability modes (Section 4.4.2).
+
+Demonstrates the two-log recovery architecture: the physical WAL
+restores the committed tree components, the logical log replays recent
+writes, and Bloom filters are rebuilt (they are never persisted).
+Contrasts the three durability modes:
+
+* SYNC  — every write survives a crash;
+* ASYNC — group commit: a recent unforced tail may be lost;
+* NONE  — degraded mode: everything since the last merge may be lost,
+          "useful for high-throughput replication".
+
+Run:
+    python examples/crash_recovery.py
+"""
+
+from repro import BLSM, BLSMOptions, DurabilityMode
+
+
+def crash_and_recover(mode: DurabilityMode) -> None:
+    options = BLSMOptions(c0_bytes=64 * 1024, durability=mode)
+    db = BLSM(options)
+
+    # Old data that reaches an on-disk component before the crash.
+    for i in range(1500):
+        db.put(b"old%04d" % i, b"durable")
+    db.drain()
+
+    # Recent writes that only live in C0 and the logical log.
+    for i in range(20):
+        db.put(b"recent%02d" % i, b"fresh")
+
+    stasis = db.stasis
+    read_before = stasis.data_disk.stats.bytes_read
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    replay_mb = (stasis.data_disk.stats.bytes_read - read_before) / 1e6
+
+    old_ok = sum(
+        1 for i in range(1500) if recovered.get(b"old%04d" % i) == b"durable"
+    )
+    recent_ok = sum(
+        1 for i in range(20) if recovered.get(b"recent%02d" % i) == b"fresh"
+    )
+    print(
+        f"{mode.value:5s} | old records {old_ok}/1500 | "
+        f"recent records {recent_ok}/20 | "
+        f"recovery read {replay_mb:.2f} MB (bloom rebuild + log replay)"
+    )
+    recovered.close()
+
+
+def main() -> None:
+    print("durability | what survives a crash")
+    for mode in (DurabilityMode.SYNC, DurabilityMode.ASYNC, DurabilityMode.NONE):
+        crash_and_recover(mode)
+    print(
+        "\nSYNC keeps everything; ASYNC may lose the unforced group-commit"
+        "\ntail; NONE (degraded, for replication) keeps only what merges"
+        "\nmade durable — exactly the Section 4.4.2 semantics."
+    )
+
+
+if __name__ == "__main__":
+    main()

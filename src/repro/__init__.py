@@ -1,0 +1,57 @@
+"""repro: a reproduction of *bLSM: A General Purpose Log Structured
+Merge Tree* (Sears & Ramakrishnan, SIGMOD 2012).
+
+The package provides:
+
+* :class:`BLSM` / :class:`BLSMOptions` — the paper's three-level
+  Bloom-filtered LSM-Tree with the spring-and-gear merge scheduler;
+* :class:`BTreeEngine` and :class:`LevelDBEngine` — the evaluation's
+  update-in-place and leveled-LSM baselines;
+* :mod:`repro.ycsb` — a YCSB-style workload generator and runner;
+* :mod:`repro.sim` — the simulated devices and virtual clock everything
+  runs on;
+* :mod:`repro.analysis` — the paper's analytical models (read fanout,
+  Figure 2, Table 2).
+
+Quickstart::
+
+    from repro import BLSM, BLSMOptions
+
+    db = BLSM(BLSMOptions(c0_bytes=4 << 20))
+    db.put(b"key", b"value")
+    assert db.get(b"key") == b"value"
+    db.close()
+"""
+
+from repro.baselines import (
+    BitCaskEngine,
+    BLSMEngine,
+    BTreeEngine,
+    KVEngine,
+    LevelDBEngine,
+    PartitionedBLSMEngine,
+)
+from repro.core import BLSM, BLSMOptions, PartitionedBLSM
+from repro.sim import DiskModel, IOStats, SimDisk, VirtualClock
+from repro.storage import DurabilityMode, EvictionPolicy, Stasis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitCaskEngine",
+    "BLSM",
+    "BLSMEngine",
+    "BLSMOptions",
+    "BTreeEngine",
+    "DiskModel",
+    "DurabilityMode",
+    "EvictionPolicy",
+    "IOStats",
+    "KVEngine",
+    "LevelDBEngine",
+    "PartitionedBLSM",
+    "PartitionedBLSMEngine",
+    "SimDisk",
+    "Stasis",
+    "VirtualClock",
+]

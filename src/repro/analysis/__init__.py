@@ -1,0 +1,45 @@
+"""Analytical models from the paper (Sections 2.1, 3.1 and Appendix A)."""
+
+from repro.analysis.amplification import (
+    bloom_bandwidth_amplification,
+    bloom_read_amplification,
+    cascade_bandwidth_amplification,
+    cascade_read_amplification,
+    figure2_series,
+    read_fanout,
+)
+from repro.analysis.crossover import (
+    crossover_object_bytes,
+    crossover_table,
+    log_structured_write_seconds,
+    update_in_place_write_seconds,
+)
+from repro.analysis.five_minute import DeviceSpec, cache_gb_table, STANDARD_DEVICES
+from repro.analysis.levels import (
+    level_ratio,
+    optimal_levels_for_write,
+    read_amplification,
+    tradeoff_table,
+    write_amplification,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "STANDARD_DEVICES",
+    "bloom_bandwidth_amplification",
+    "bloom_read_amplification",
+    "cache_gb_table",
+    "cascade_bandwidth_amplification",
+    "cascade_read_amplification",
+    "crossover_object_bytes",
+    "crossover_table",
+    "figure2_series",
+    "log_structured_write_seconds",
+    "update_in_place_write_seconds",
+    "level_ratio",
+    "optimal_levels_for_write",
+    "read_amplification",
+    "read_fanout",
+    "tradeoff_table",
+    "write_amplification",
+]

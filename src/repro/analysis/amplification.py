@@ -1,0 +1,138 @@
+"""Read amplification models: Bloom filters vs fractional cascading.
+
+Figure 2 plots worst-case read amplification against data size (in
+multiples of available RAM) for two designs:
+
+* a three-level LSM-Tree whose on-disk components carry Bloom filters
+  (the paper's design): point lookups cost at most ``1 + N * fpr`` seeks
+  — about 1.03 for three on-disk components at a 1 % false-positive rate
+  — independent of data size;
+
+* fractional-cascading trees (TokuDB/COLA style) with a fixed fanout R:
+  the number of levels grows logarithmically with data size, lookups
+  visit a run of data pages at every on-disk level, and no choice of R
+  is competitive — driving amplification to 1 requires an R so large the
+  tree degenerates to a single component and O(n) write amplification
+  (Section 3.1).
+
+The cascading model charges one seek per on-disk level (the cascade
+pointer lands directly in the next level's leaves, but those leaves are
+on disk) and ``R/2`` pages of transfer per cascade step (the short run
+of candidate pages examined at each level).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: On-disk components a bLSM point lookup may probe (C1, C1', C2).
+BLSM_DISK_COMPONENTS = 3
+
+
+def cascade_levels(r: float, data_over_ram: float) -> int:
+    """On-disk levels of a fractional-cascading tree with fanout ``r``.
+
+    The top ``RAM`` worth of the tree is cached; every factor-of-``r``
+    beyond that adds one on-disk level.
+    """
+    if r <= 1.0:
+        raise ValueError(f"fanout must exceed 1, got {r}")
+    if data_over_ram <= 1.0:
+        return 0
+    return max(1, math.ceil(math.log(data_over_ram, r)))
+
+
+def cascade_read_amplification(r: float, data_over_ram: float) -> float:
+    """Worst-case seeks per probe with fractional cascading."""
+    return float(cascade_levels(r, data_over_ram))
+
+
+def cascade_bandwidth_amplification(r: float, data_over_ram: float) -> float:
+    """Pages transferred per probe with fractional cascading.
+
+    Each cascade step examines a run of about ``r / 2`` candidate leaf
+    pages in the next level (the run between two consecutive cascade
+    pointers), so larger fanouts trade seeks for bandwidth.
+    """
+    levels = cascade_levels(r, data_over_ram)
+    return levels * max(1.0, r / 2.0)
+
+
+def bloom_read_amplification(
+    data_over_ram: float,
+    components: int = BLSM_DISK_COMPONENTS,
+    false_positive_rate: float = 0.01,
+) -> float:
+    """Worst-case seeks per probe for the Bloom-filtered three-level tree.
+
+    One seek for the component holding the record plus one expected seek
+    per falsely-positive filter: ``1 + (components - 1) * fpr`` — 1.03
+    at the paper's scenario parameters, flat in data size.
+    """
+    if data_over_ram <= 1.0:
+        return 0.0  # everything fits in RAM
+    return 1.0 + (components - 1) * false_positive_rate
+
+
+def bloom_bandwidth_amplification(
+    data_over_ram: float,
+    components: int = BLSM_DISK_COMPONENTS,
+    false_positive_rate: float = 0.01,
+) -> float:
+    """Pages transferred per probe with Bloom filters (one per seek)."""
+    return bloom_read_amplification(data_over_ram, components, false_positive_rate)
+
+
+def read_fanout(
+    page_size: int, key_bytes: int, value_bytes: int, pointer_bytes: int = 8
+) -> float:
+    """Appendix A's read fanout: data addressed per byte of index RAM.
+
+    ``max(page_size, key + value) / (key + pointer)`` — about 40 for
+    100-byte keys and 4 KB pages.
+    """
+    if page_size <= 0 or key_bytes <= 0:
+        raise ValueError("page_size and key_bytes must be positive")
+    addressed = max(page_size, key_bytes + value_bytes)
+    return addressed / (key_bytes + pointer_bytes)
+
+
+def figure2_series(
+    r_values: list[int] | None = None,
+    max_ratio: int = 16,
+    points_per_unit: int = 2,
+) -> dict[str, list[tuple[float, float, float]]]:
+    """The Figure 2 data: per curve, (ratio, seek amp, bandwidth amp).
+
+    Returns a mapping from curve label (``bloom`` or ``R=k``) to its
+    series over data sizes 0..``max_ratio`` multiples of RAM.
+    """
+    if r_values is None:
+        r_values = list(range(2, 11))
+    ratios = [
+        i / points_per_unit for i in range(0, max_ratio * points_per_unit + 1)
+    ]
+    series: dict[str, list[tuple[float, float, float]]] = {"bloom": []}
+    for ratio in ratios:
+        series["bloom"].append(
+            (
+                ratio,
+                bloom_read_amplification(ratio),
+                bloom_bandwidth_amplification(ratio),
+            )
+        )
+    for r in r_values:
+        curve: list[tuple[float, float, float]] = []
+        for ratio in ratios:
+            if ratio <= 1.0:
+                curve.append((ratio, 0.0, 0.0))
+            else:
+                curve.append(
+                    (
+                        ratio,
+                        cascade_read_amplification(r, ratio),
+                        cascade_bandwidth_amplification(r, ratio),
+                    )
+                )
+        series[f"R={r}"] = curve
+    return series

@@ -1,0 +1,88 @@
+"""The update-in-place vs log-structured crossover (Section 2, Conclusion).
+
+"As object sizes increase, update-in-place techniques begin to
+outperform log structured techniques.  Increasing the relative cost of
+random I/O increases the object size that determines the 'cross over'
+point" (Section 2).  The conclusion repeats the caveat: "as the size of
+objects increase, the sequential costs dominate and update-in-place
+techniques provide superior performance."
+
+The arithmetic: an update-in-place write costs two random accesses plus
+one object transfer; a log-structured write costs ``WA`` object
+transfers (its write amplification) at sequential bandwidth.  They break
+even at
+
+    object_size* = 2 * access_time * bandwidth / (WA - 1)
+
+Bigger seeks (slower devices) push the crossover up — the paper's
+"these trends make log structured techniques more attractive over
+time"; bigger write amplification (bigger data:RAM ratios) pulls it
+down.
+"""
+
+from __future__ import annotations
+
+from repro.sim.disk import DiskModel
+
+
+def update_in_place_write_seconds(
+    object_bytes: int, model: DiskModel
+) -> float:
+    """Cost of a B-Tree style update: read the page, write it back."""
+    return (
+        model.read_access_seconds
+        + model.write_access_seconds
+        + 2 * object_bytes / model.seq_write_bandwidth
+    )
+
+
+def log_structured_write_seconds(
+    object_bytes: int, model: DiskModel, write_amplification: float
+) -> float:
+    """Amortized cost of a log-structured write: WA sequential copies."""
+    if write_amplification < 1.0:
+        raise ValueError(
+            f"write_amplification must be >= 1, got {write_amplification}"
+        )
+    return write_amplification * object_bytes / model.seq_write_bandwidth
+
+
+def crossover_object_bytes(
+    model: DiskModel, write_amplification: float
+) -> float:
+    """Object size above which update-in-place writes win.
+
+    Solves ``update_in_place == log_structured`` for the object size;
+    infinite when the LSM's amplification never exceeds the B-Tree's
+    effective two copies.
+    """
+    extra_copies = write_amplification - 2.0
+    if extra_copies <= 0:
+        return float("inf")
+    access = model.read_access_seconds + model.write_access_seconds
+    return access * model.seq_write_bandwidth / extra_copies
+
+
+def crossover_table(
+    write_amplifications: list[float] | None = None,
+) -> list[tuple[str, float, list[float]]]:
+    """Crossover sizes per device and LSM write amplification.
+
+    Returns rows of (device name, access time, [crossover bytes per
+    amplification]).
+    """
+    if write_amplifications is None:
+        write_amplifications = [4.0, 8.0, 16.0, 32.0]
+    rows = []
+    for model in (DiskModel.single_hdd(), DiskModel.hdd(), DiskModel.ssd()):
+        rows.append(
+            (
+                model.name,
+                model.read_access_seconds + model.write_access_seconds,
+                [
+                    crossover_object_bytes(model, amplification)
+                    for amplification in write_amplifications
+                ],
+            )
+        )
+    return rows

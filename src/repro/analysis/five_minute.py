@@ -1,0 +1,111 @@
+"""Appendix A's Table 2: RAM needed to cache B-Tree index nodes.
+
+For a read amplification of one, RAM must hold a (key, leaf-pointer)
+entry for every piece of data that can be touched within the working
+interval.  Two regimes bound the hot set:
+
+* **seek-bound** — the device can only serve ``reads_per_sec x interval``
+  distinct records in the interval, so only that many entries are needed;
+* **capacity-bound** — once the whole device is hot, one entry per leaf
+  page suffices (hot records pack onto shared leaves):
+  ``capacity / page_size`` entries.
+
+The paper's numbers assume 100-byte keys, 1000-byte values, 4096-byte
+pages and roughly 100 bytes per cached entry; cells where the seek-bound
+requirement exceeds the full-disk bound are printed as ``-`` (the device
+is capacity-bound well before that access frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_GB = 1e9
+
+#: Table 2's access-frequency rows (label, seconds).
+ACCESS_INTERVALS: list[tuple[str, float]] = [
+    ("Minute", 60.0),
+    ("Five minute", 300.0),
+    ("Half hour", 1800.0),
+    ("Hour", 3600.0),
+    ("Day", 86400.0),
+    ("Week", 604800.0),
+    ("Month", 2592000.0),
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One column of Table 2."""
+
+    name: str
+    capacity_gb: float
+    reads_per_sec: float
+
+
+#: Table 2's device columns.
+STANDARD_DEVICES: list[DeviceSpec] = [
+    DeviceSpec("SATA SSD", 512, 50_000),
+    DeviceSpec("PCI-E SSD", 5000, 1_000_000),
+    DeviceSpec("Server HDD", 300, 500),
+    DeviceSpec("Media HDD", 2000, 250),
+]
+
+
+def full_disk_cache_gb(
+    device: DeviceSpec, page_size: int = 4096, entry_bytes: int = 100
+) -> float:
+    """RAM to cache one index entry per leaf page of the whole device."""
+    pages = device.capacity_gb * _GB / page_size
+    return pages * entry_bytes / _GB
+
+
+def interval_cache_gb(
+    device: DeviceSpec,
+    interval_seconds: float,
+    page_size: int = 4096,
+    entry_bytes: int = 100,
+) -> float | None:
+    """RAM for a read amplification of one at a given access frequency.
+
+    Returns ``None`` (printed as ``-``) when the seek-bound hot set
+    exceeds the whole device: the full-disk row already covers it.
+    """
+    seek_bound = device.reads_per_sec * interval_seconds * entry_bytes / _GB
+    if seek_bound > full_disk_cache_gb(device, page_size, entry_bytes):
+        return None
+    return seek_bound
+
+
+def cache_gb_table(
+    devices: list[DeviceSpec] | None = None,
+    page_size: int = 4096,
+    entry_bytes: int = 100,
+) -> list[tuple[str, list[float | None]]]:
+    """Regenerate Table 2: rows of (interval label, GB per device).
+
+    The final row, labelled ``Full disk``, is the capacity bound.
+    """
+    if devices is None:
+        devices = STANDARD_DEVICES
+    rows: list[tuple[str, list[float | None]]] = []
+    for label, seconds in ACCESS_INTERVALS:
+        rows.append(
+            (
+                label,
+                [
+                    interval_cache_gb(device, seconds, page_size, entry_bytes)
+                    for device in devices
+                ],
+            )
+        )
+    rows.append(
+        (
+            "Full disk",
+            [
+                full_disk_cache_gb(device, page_size, entry_bytes)
+                for device in devices
+            ],
+        )
+    )
+    return rows

@@ -1,0 +1,94 @@
+"""How many levels should an LSM-Tree have? (Section 2.3.1's optimization)
+
+The base LSM analysis: with ``N`` on-disk levels whose sizes grow by a
+common ratio ``R``, holding the indexed data size fixed requires
+``R = (|data| / |C0|)^(1/N)``, and the amortized write cost is
+proportional to ``N * R`` (each update crosses every level, paying ~R
+per crossing) while worst-case reads and scans touch all ``N`` levels.
+
+The paper picks N = 2 on-disk levels plus Bloom filters; LevelDB and
+fractional-cascading trees pick large ``N`` with fixed ``R``.  This
+module quantifies the trade-off — the write-optimized regime grows
+logarithmically many levels, the read-optimized regime keeps levels
+constant — and backs the paper's deferred "two-level vs multi-level"
+comparison (Section 5.2) with the underlying arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def level_ratio(data_over_c0: float, levels: int) -> float:
+    """The size ratio R between adjacent levels (Section 2.3.1)."""
+    if levels <= 0:
+        raise ValueError(f"levels must be positive, got {levels}")
+    if data_over_c0 < 1.0:
+        raise ValueError(
+            f"data_over_c0 must be >= 1, got {data_over_c0}"
+        )
+    return data_over_c0 ** (1.0 / levels)
+
+
+def write_amplification(data_over_c0: float, levels: int) -> float:
+    """Amortized sequential I/O per written byte with ``levels`` levels.
+
+    Each byte crosses every level once; each crossing re-copies, on
+    average, half the destination level per source-level volume — ~R/2
+    reads plus the write, doubled for read-back: ~R per level crossing
+    in each direction, i.e. ``levels * (1 + R)`` total transfers.
+    """
+    r = level_ratio(data_over_c0, levels)
+    return levels * (1.0 + r)
+
+
+def read_amplification(levels: int, bloom_false_positive_rate: float | None) -> float:
+    """Worst-case seeks per point lookup.
+
+    Without filters every level is probed; with filters only the true
+    location plus expected false positives.
+    """
+    if bloom_false_positive_rate is None:
+        return float(levels)
+    return 1.0 + (levels - 1) * bloom_false_positive_rate
+
+
+def scan_amplification(levels: int) -> float:
+    """Seeks per short scan: Bloom filters do not help (Section 3.3)."""
+    return float(levels)
+
+
+def optimal_levels_for_write(data_over_c0: float) -> int:
+    """The write-optimal level count: minimize ``N * (1 + R)``.
+
+    Differentiating N(1 + x^(1/N)) gives the classic ~ln(data/C0)
+    optimum (R ≈ e); returned as the best integer.
+    """
+    best_levels, best_cost = 1, write_amplification(data_over_c0, 1)
+    for levels in range(2, 64):
+        cost = write_amplification(data_over_c0, levels)
+        if cost < best_cost:
+            best_levels, best_cost = levels, cost
+        if level_ratio(data_over_c0, levels) < math.e / 2:
+            break
+    return best_levels
+
+
+def tradeoff_table(
+    data_over_c0: float, max_levels: int = 6
+) -> list[dict[str, float]]:
+    """Rows of (levels, R, write amp, read amp with/without Bloom, scan
+    seeks) — the design space the paper's Table 1 summarizes."""
+    rows = []
+    for levels in range(1, max_levels + 1):
+        rows.append(
+            {
+                "levels": levels,
+                "r": level_ratio(data_over_c0, levels),
+                "write_amp": write_amplification(data_over_c0, levels),
+                "read_amp_bloom": read_amplification(levels, 0.01),
+                "read_amp_no_bloom": read_amplification(levels, None),
+                "scan_seeks": scan_amplification(levels),
+            }
+        )
+    return rows

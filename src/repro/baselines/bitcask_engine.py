@@ -1,0 +1,220 @@
+"""Unordered log-structured store: the third class in Section 2's taxonomy.
+
+"Unordered log structured indexes write data to disk immediately,
+eliminating the need for a separate log.  The cost of compacting these
+stores is a function of the amount of free space reserved on the
+underlying device... Unordered stores typically have higher sustained
+write throughput than ordered stores (order of magnitude differences
+are not uncommon).  These benefits come at a price: unordered stores do
+not provide efficient scan operations" (Section 2).
+
+This engine is BitCask-shaped [33]: every write appends the record to a
+data log and updates an in-RAM hash index of ``key -> (offset, size)``.
+
+* writes — one sequential append, zero seeks, no separate WAL (the data
+  log *is* the log);
+* point reads — one seek straight to the record (the index is RAM);
+* ``insert_if_not_exists`` — free: the RAM index answers it;
+* compaction — when the dead fraction of the log exceeds a threshold,
+  live records are rewritten sequentially to a fresh extent; cost is a
+  function of the reserved free-space factor, independent of cache;
+* scans — the advertised weakness: served by sorting the RAM index and
+  chasing each record with a random read — one seek *per row*.
+
+The paper rules these stores out for PNUTS/Walnut because scans matter;
+this baseline exists to measure exactly that trade.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.baselines.interface import KVEngine
+from repro.errors import EngineClosedError
+from repro.records import RECORD_HEADER_BYTES, apply_delta
+from repro.sim.clock import VirtualClock
+from repro.sim.disk import DiskModel, SimDisk
+
+
+class BitCaskEngine(KVEngine):
+    """Append-only unordered store with an in-RAM hash index."""
+
+    name = "BitCask"
+
+    def __init__(
+        self,
+        disk_model: DiskModel | None = None,
+        garbage_threshold: float = 0.5,
+    ) -> None:
+        """``garbage_threshold``: dead fraction of the log that triggers
+        compaction — the "free space reserved on the device" knob the
+        paper says unordered-store compaction cost depends on."""
+        if not 0.0 < garbage_threshold < 1.0:
+            raise ValueError(
+                f"garbage_threshold must be in (0, 1), got {garbage_threshold}"
+            )
+        model = disk_model if disk_model is not None else DiskModel.hdd()
+        self._clock = VirtualClock()
+        self.disk = SimDisk(model, self._clock, name=f"{model.name}-log")
+        self.garbage_threshold = garbage_threshold
+        self._index: dict[bytes, tuple[int, int]] = {}  # key -> (off, len)
+        self._values: dict[int, bytes] = {}  # offset -> payload
+        self._tail = 0
+        self._live_bytes = 0
+        self._closed = False
+        self.compactions = 0
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Engine interface
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self._append(key, value)
+        self._maybe_compact()
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        location = self._index.get(key)
+        if location is None:
+            return None
+        offset, nbytes = location
+        self.disk.read(offset, nbytes)  # one seek, straight to the record
+        return self._values[offset]
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        location = self._index.pop(key, None)
+        if location is None:
+            return
+        self._live_bytes -= location[1]
+        # The deletion itself is a tiny sequential marker in the log.
+        self.disk.write(self._tail, RECORD_HEADER_BYTES + len(key))
+        self._tail += RECORD_HEADER_BYTES + len(key)
+        self._maybe_compact()
+
+    def apply_delta(self, key: bytes, delta: bytes) -> None:
+        """No blind deltas in a hash store: read, fold, append."""
+        self._check_open()
+        base = self.get(key) or b""
+        self.put(key, apply_delta(base, delta))
+
+    def insert_if_not_exists(self, key: bytes, value: bytes) -> bool:
+        """Free existence check: the whole index is in RAM."""
+        self._check_open()
+        if key in self._index:
+            return False
+        self.put(key, value)
+        return True
+
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """The advertised weakness: one random read per row.
+
+        The RAM index is sorted on demand (CPU, uncharged) but the
+        records themselves lie wherever the log put them, so every row
+        is a seek — "unordered stores do not provide efficient scan
+        operations" (Section 2).
+        """
+        self._check_open()
+        emitted = 0
+        for key in sorted(self._index):
+            if key < lo:
+                continue
+            if hi is not None and key >= hi:
+                return
+            offset, nbytes = self._index[key]
+            self.disk.read(offset, nbytes)
+            yield key, self._values[offset]
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    def flush(self) -> None:
+        """Writes are synchronous appends; nothing is buffered."""
+
+    def close(self) -> None:
+        self._closed = True
+
+    def io_summary(self) -> dict[str, Any]:
+        stats = self.disk.stats
+        return {
+            "data_seeks": stats.seeks,
+            "data_bytes_read": stats.bytes_read,
+            "data_bytes_written": stats.bytes_written,
+            "log_bytes_written": 0,  # the data log IS the log
+            "busy_seconds": stats.busy_seconds,
+            "compactions": self.compactions,
+            "garbage_fraction": self.garbage_fraction,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @property
+    def garbage_fraction(self) -> float:
+        """Dead fraction of the log written so far."""
+        if self._tail == 0:
+            return 0.0
+        return 1.0 - self._live_bytes / self._tail
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError()
+
+    def _record_bytes(self, key: bytes, value: bytes) -> int:
+        return RECORD_HEADER_BYTES + len(key) + len(value)
+
+    def _append(self, key: bytes, value: bytes) -> None:
+        nbytes = self._record_bytes(key, value)
+        offset = self._tail
+        self.disk.write(offset, nbytes)  # sequential: zero seeks
+        self._values[offset] = value
+        old = self._index.get(key)
+        if old is not None:
+            self._live_bytes -= old[1]
+            self._values.pop(old[0], None)
+        self._index[key] = (offset, nbytes)
+        self._live_bytes += nbytes
+        self._tail += nbytes
+
+    def _maybe_compact(self) -> None:
+        if self._tail == 0 or self.garbage_fraction < self.garbage_threshold:
+            return
+        self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite live records sequentially into a fresh segment.
+
+        One pass of (near-sequential) reads over the live set, one
+        sequential write of the survivors; the paper notes this cost
+        depends only on the free-space factor, not on cache size.  The
+        old segment is reclaimed, so offsets rebase to the new one.
+        """
+        self.compactions += 1
+        live_in_log_order = sorted(
+            (offset, key) for key, (offset, _n) in self._index.items()
+        )
+        total_live = 0
+        for offset, key in live_in_log_order:
+            self.disk.read(offset, self._index[key][1])
+            total_live += self._index[key][1]
+        self.disk.write(self._tail, total_live)
+        rebased_values: dict[int, bytes] = {}
+        rebased_index: dict[bytes, tuple[int, int]] = {}
+        cursor = 0
+        for offset, key in live_in_log_order:
+            nbytes = self._index[key][1]
+            rebased_values[cursor] = self._values[offset]
+            rebased_index[key] = (cursor, nbytes)
+            cursor += nbytes
+        self._values = rebased_values
+        self._index = rebased_index
+        self._tail = cursor
+        self._live_bytes = cursor

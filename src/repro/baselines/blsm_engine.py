@@ -1,0 +1,52 @@
+"""Adapter exposing :class:`repro.core.BLSM` through the engine interface."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.baselines.interface import KVEngine
+from repro.core.options import BLSMOptions
+from repro.core.tree import BLSM
+from repro.sim.clock import VirtualClock
+
+
+class BLSMEngine(KVEngine):
+    """bLSM behind the common engine interface."""
+
+    name = "bLSM"
+
+    def __init__(self, options: BLSMOptions | None = None) -> None:
+        self.tree = BLSM(options)
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.tree.stasis.clock
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.tree.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.tree.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.tree.delete(key)
+
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        return self.tree.scan(lo, hi, limit)
+
+    def insert_if_not_exists(self, key: bytes, value: bytes) -> bool:
+        return self.tree.insert_if_not_exists(key, value)
+
+    def apply_delta(self, key: bytes, delta: bytes) -> None:
+        self.tree.apply_delta(key, delta)
+
+    def flush(self) -> None:
+        self.tree.flush_log()
+
+    def close(self) -> None:
+        self.tree.close()
+
+    def io_summary(self) -> dict[str, Any]:
+        return self.tree.stasis.io_summary()

@@ -1,0 +1,87 @@
+"""The engine interface shared by bLSM and both baselines.
+
+The YCSB runner and every benchmark drive engines exclusively through
+this interface, so each experiment isolates algorithmic differences
+rather than harness differences — mirroring how the paper runs all three
+systems under the same YCSB workloads (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterator
+
+from repro.sim.clock import VirtualClock
+
+
+class KVEngine(ABC):
+    """A key-value storage engine over simulated devices."""
+
+    name: str = "engine"
+
+    @property
+    @abstractmethod
+    def clock(self) -> VirtualClock:
+        """The virtual clock all of this engine's I/O advances."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Point lookup."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Blind write (insert or overwrite)."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove a key."""
+
+    @abstractmethod
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered range scan starting at ``lo``."""
+
+    @abstractmethod
+    def insert_if_not_exists(self, key: bytes, value: bytes) -> bool:
+        """Insert only if absent; return whether the insert happened."""
+
+    def insert_unique(self, key: bytes, value: bytes) -> None:
+        """Insert a key that must not exist; raise on a duplicate.
+
+        The exception-raising flavour of ``insert_if_not_exists`` for
+        callers enforcing uniqueness constraints (the Section 5.2 bulk
+        loads check exactly this).
+        """
+        from repro.errors import DuplicateKeyError
+
+        if not self.insert_if_not_exists(key, value):
+            raise DuplicateKeyError(key)
+
+    @abstractmethod
+    def apply_delta(self, key: bytes, delta: bytes) -> None:
+        """Apply a partial update to a record."""
+
+    def read_modify_write(
+        self, key: bytes, update: Callable[[bytes | None], bytes]
+    ) -> bytes:
+        """Read the value, transform it, write it back."""
+        new_value = update(self.get(key))
+        self.put(key, new_value)
+        return new_value
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Make buffered writes durable (force logs)."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush and shut the engine down."""
+
+    @abstractmethod
+    def io_summary(self) -> dict[str, Any]:
+        """Device counters for benchmark reporting."""
+
+    def seeks(self) -> int:
+        """Data-device seeks so far (read-amplification audits)."""
+        return int(self.io_summary().get("data_seeks", 0))

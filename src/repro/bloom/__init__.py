@@ -1,0 +1,5 @@
+"""Bloom filters (Section 3.1, Section 4.4.3)."""
+
+from repro.bloom.filter import BloomFilter
+
+__all__ = ["BloomFilter"]

@@ -1,0 +1,415 @@
+"""Command-line interface: run workloads and print the paper's tables.
+
+Examples::
+
+    python -m repro workload --engine blsm --workload a \\
+        --records 2000 --ops 5000 --disk hdd
+    python -m repro workload --engine leveldb --read 0.2 --blind-write 0.8
+    python -m repro amplification           # Figure 2's series
+    python -m repro cache-table             # Table 2 (Appendix A)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import cache_gb_table, figure2_series
+from repro.analysis.five_minute import STANDARD_DEVICES
+from repro.baselines import (
+    BitCaskEngine,
+    BLSMEngine,
+    BTreeEngine,
+    KVEngine,
+    LevelDBEngine,
+    PartitionedBLSMEngine,
+)
+from repro.core import BLSMOptions
+from repro.sim import DiskModel
+from repro.ycsb import (
+    OpKind,
+    WorkloadSpec,
+    load_phase,
+    run_workload,
+    standard_workload,
+)
+
+ENGINES = ("blsm", "blsm-part", "btree", "leveldb", "bitcask")
+DISKS = ("hdd", "ssd", "single-hdd")
+
+
+def _disk(name: str) -> DiskModel:
+    if name == "hdd":
+        return DiskModel.hdd()
+    if name == "ssd":
+        return DiskModel.ssd()
+    return DiskModel.single_hdd()
+
+
+def _engine(
+    name: str,
+    disk: DiskModel,
+    c0_bytes: int,
+    cache_pages: int,
+    durability: str = "async",
+    compression: float = 1.0,
+) -> KVEngine:
+    from repro.storage import DurabilityMode
+
+    mode = DurabilityMode(durability)
+    if name == "blsm":
+        return BLSMEngine(
+            BLSMOptions(
+                c0_bytes=c0_bytes,
+                buffer_pool_pages=cache_pages,
+                disk_model=disk,
+                durability=mode,
+                compression_ratio=compression,
+            )
+        )
+    if name == "blsm-part":
+        return PartitionedBLSMEngine(
+            BLSMOptions(
+                c0_bytes=c0_bytes,
+                buffer_pool_pages=cache_pages,
+                disk_model=disk,
+                durability=mode,
+                compression_ratio=compression,
+            )
+        )
+    if name == "btree":
+        return BTreeEngine(
+            disk_model=disk,
+            buffer_pool_pages=max(2, cache_pages // 4),  # 16 KB pages
+        )
+    if name == "bitcask":
+        return BitCaskEngine(disk_model=disk)
+    if name == "leveldb":
+        return LevelDBEngine(
+            disk_model=disk,
+            memtable_bytes=max(4096, c0_bytes // 8),
+            file_bytes=max(16 * 1024, c0_bytes // 2),
+            level_base_bytes=2 * c0_bytes,
+            buffer_pool_pages=cache_pages,
+        )
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def _workload_spec(args: argparse.Namespace) -> WorkloadSpec:
+    if args.workload is not None:
+        return standard_workload(
+            args.workload, args.records, args.ops, value_bytes=args.value_bytes
+        )
+    proportions = {
+        "read_proportion": args.read,
+        "update_proportion": args.update,
+        "blind_write_proportion": args.blind_write,
+        "insert_proportion": args.insert,
+        "scan_proportion": args.scan,
+    }
+    total = sum(proportions.values())
+    if total <= 0:
+        proportions = {"read_proportion": 0.5, "blind_write_proportion": 0.5}
+        total = 1.0
+    normalized = {name: p / total for name, p in proportions.items()}
+    return WorkloadSpec(
+        record_count=args.records,
+        operation_count=args.ops,
+        request_distribution=args.distribution,
+        value_bytes=args.value_bytes,
+        **normalized,
+    )
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    disk = _disk(args.disk)
+    engine = _engine(
+        args.engine, disk, args.c0_bytes, args.cache_pages,
+        durability=args.durability, compression=args.compression,
+    )
+    spec = _workload_spec(args)
+    print(
+        f"engine={engine.name} disk={disk.name} records={spec.record_count} "
+        f"ops={spec.operation_count} dist={spec.request_distribution}"
+    )
+    load = load_phase(engine, spec, seed=args.seed)
+    print(f"load : {load.throughput:12,.0f} ops/s (virtual)")
+    if spec.operation_count > 0:
+        window = (
+            args.timeseries if getattr(args, "timeseries", 0) > 0 else None
+        )
+        result = run_workload(
+            engine, spec, seed=args.seed + 1, timeseries_window=window
+        )
+        if result.timeseries is not None:
+            from repro.ycsb.ascii_plot import render_timeseries
+
+            for line in render_timeseries(
+                "ops/s", result.timeseries.throughputs()
+            ):
+                print(line)
+        latency = result.all_latencies()
+        print(
+            f"run  : {result.throughput:12,.0f} ops/s   "
+            f"p50 {latency.percentile(50) * 1e6:8.1f} us   "
+            f"p99 {latency.percentile(99) * 1e6:8.1f} us   "
+            f"max {latency.max * 1e3:8.2f} ms"
+        )
+        for kind in OpKind:
+            stats = result.latencies.get(kind)
+            if stats is None:
+                continue
+            print(
+                f"  {kind.value:12s} n={stats.count:<8d} "
+                f"mean {stats.mean * 1e6:8.1f} us  "
+                f"p99 {stats.percentile(99) * 1e6:8.1f} us"
+            )
+    summary = engine.io_summary()
+    print(
+        f"io   : seeks={summary['data_seeks']} "
+        f"read={summary['data_bytes_read'] / 1e6:.1f}MB "
+        f"written={summary['data_bytes_written'] / 1e6:.1f}MB"
+    )
+    engine.close()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Run the same workload against every engine, print a table."""
+    disk = _disk(args.disk)
+    spec = _workload_spec(args)
+    print(
+        f"{'engine':12s}{'load ops/s':>12s}{'run ops/s':>12s}"
+        f"{'p99 (ms)':>10s}{'max (ms)':>10s}{'seeks':>8s}"
+    )
+    for name in ENGINES:
+        engine = _engine(name, disk, args.c0_bytes, args.cache_pages)
+        load = load_phase(engine, spec, seed=args.seed)
+        seeks_before = engine.seeks()
+        if spec.operation_count > 0:
+            result = run_workload(engine, spec, seed=args.seed + 1)
+            latency = result.all_latencies()
+            run_ops = result.throughput
+            p99 = latency.percentile(99) * 1e3
+            worst = latency.max * 1e3
+        else:
+            run_ops = p99 = worst = 0.0
+        print(
+            f"{engine.name:12s}{load.throughput:12,.0f}{run_ops:12,.0f}"
+            f"{p99:10.2f}{worst:10.2f}{engine.seeks() - seeks_before:8d}"
+        )
+        engine.close()
+    return 0
+
+
+def _cmd_amplification(args: argparse.Namespace) -> int:
+    series = figure2_series(max_ratio=args.max_ratio, points_per_unit=1)
+    labels = list(series)
+    print(f"{'data/RAM':>9s}" + "".join(f"{label:>8s}" for label in labels))
+    for i in range(len(series["bloom"])):
+        ratio = series["bloom"][i][0]
+        row = f"{ratio:9.0f}"
+        for label in labels:
+            row += f"{series[label][i][1]:8.2f}"
+        print(row)
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.ycsb.trace import record_workload_trace
+
+    spec = _workload_spec(args)
+    with open(args.output, "w") as handle:
+        count = record_workload_trace(spec, handle, seed=args.seed)
+    print(f"recorded {count} operations to {args.output}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.ycsb.trace import replay_trace
+
+    disk = _disk(args.disk)
+    engine = _engine(args.engine, disk, args.c0_bytes, args.cache_pages)
+    with open(args.trace) as handle:
+        operations, stats = replay_trace(engine, handle)
+    elapsed = engine.clock.now
+    throughput = operations / elapsed if elapsed > 0 else 0.0
+    print(
+        f"replayed {operations} ops on {engine.name} in "
+        f"{elapsed * 1e3:.1f} ms (virtual) -> {throughput:,.0f} ops/s"
+    )
+    print(
+        f"latency p50 {stats.percentile(50) * 1e6:.1f} us  "
+        f"p99 {stats.percentile(99) * 1e6:.1f} us  "
+        f"max {stats.max * 1e3:.2f} ms"
+    )
+    engine.close()
+    return 0
+
+
+def _cmd_cache_table(args: argparse.Namespace) -> int:
+    print(
+        f"{'Access Frequency':18s}"
+        + "".join(f"{device.name:>12s}" for device in STANDARD_DEVICES)
+    )
+    for label, cells in cache_gb_table():
+        row = f"{label:18s}"
+        for cell in cells:
+            row += f"{'-':>12s}" if cell is None else f"{cell:12.3f}"
+        print(row)
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Model-check every engine and verify tree invariants.
+
+    A fast release gate: drives each engine with the same random
+    operation stream against a dictionary model, deep-checks the bLSM
+    trees' structural invariants, and round-trips a crash/recover.
+    """
+    from repro.core import BLSM, BLSMOptions
+    from repro.storage import DurabilityMode
+    from repro.testing import (
+        check_blsm_invariants,
+        crash_recover_check,
+        run_model_workload,
+        verify_against_model,
+    )
+
+    failures = 0
+    for name in ENGINES:
+        engine = _engine(name, _disk("hdd"), 16 * 1024, 16)
+        try:
+            model = run_model_workload(
+                engine, operations=args.operations, seed=args.seed
+            )
+            verify_against_model(engine, model)
+            if hasattr(engine, "tree") and isinstance(engine.tree, BLSM):
+                check_blsm_invariants(engine.tree)
+            print(f"  {engine.name:10s} OK  ({len(model)} live keys)")
+        except AssertionError as error:
+            failures += 1
+            print(f"  {engine.name:10s} FAILED: {error}")
+    options = BLSMOptions(
+        c0_bytes=16 * 1024, durability=DurabilityMode.SYNC
+    )
+    tree = BLSM(options)
+    model = {}
+    for i in range(args.operations // 4):
+        key = b"key%05d" % (i % 400)
+        tree.put(key, b"v%d" % i)
+        model[key] = b"v%d" % i
+    try:
+        crash_recover_check(tree, model)
+        print(f"  {'recovery':10s} OK  (crash + replay verified)")
+    except AssertionError as error:
+        failures += 1
+        print(f"  {'recovery':10s} FAILED: {error}")
+    print("selfcheck:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    return 0 if failures == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="bLSM (SIGMOD 2012) reproduction: run workloads on "
+        "simulated devices and print the paper's analytical tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    workload = sub.add_parser("workload", help="run a YCSB-style workload")
+    workload.add_argument("--engine", choices=ENGINES, default="blsm")
+    workload.add_argument("--disk", choices=DISKS, default="hdd")
+    workload.add_argument(
+        "--workload", choices=list("abcdef"), default=None,
+        help="a standard YCSB mix (overrides the proportion flags)",
+    )
+    workload.add_argument("--records", type=int, default=2000)
+    workload.add_argument("--ops", type=int, default=2000)
+    workload.add_argument("--value-bytes", type=int, default=1000)
+    workload.add_argument("--read", type=float, default=0.0)
+    workload.add_argument("--update", type=float, default=0.0)
+    workload.add_argument("--blind-write", type=float, default=0.0)
+    workload.add_argument("--insert", type=float, default=0.0)
+    workload.add_argument("--scan", type=float, default=0.0)
+    workload.add_argument(
+        "--distribution",
+        choices=("uniform", "zipfian", "zipfian_clustered", "latest"),
+        default="uniform",
+    )
+    workload.add_argument("--c0-bytes", type=int, default=512 * 1024)
+    workload.add_argument("--cache-pages", type=int, default=64)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument(
+        "--durability", choices=("sync", "async", "none"), default="async",
+        help="logical-log mode for the LSM engines",
+    )
+    workload.add_argument(
+        "--compression", type=float, default=1.0, metavar="RATIO",
+        help="on-disk bytes per logical byte for the bLSM engines",
+    )
+    workload.add_argument(
+        "--timeseries", type=float, default=0.0, metavar="WINDOW_S",
+        help="print a windowed throughput sparkline (window in seconds)",
+    )
+    workload.set_defaults(fn=_cmd_workload)
+
+    compare = sub.add_parser(
+        "compare", help="run one workload against every engine"
+    )
+    for source in workload._actions:
+        if source.dest in ("help", "engine"):
+            continue
+        compare._add_action(source)
+    compare.set_defaults(fn=_cmd_compare)
+
+    amplification = sub.add_parser(
+        "amplification", help="print Figure 2's read-amplification series"
+    )
+    amplification.add_argument("--max-ratio", type=int, default=16)
+    amplification.set_defaults(fn=_cmd_amplification)
+
+    cache = sub.add_parser(
+        "cache-table", help="print Table 2 (Appendix A's cache sizing)"
+    )
+    cache.set_defaults(fn=_cmd_cache_table)
+
+    record = sub.add_parser(
+        "record", help="write a workload's operation stream to a trace file"
+    )
+    for source in workload._actions:
+        if source.dest in ("help", "engine", "disk", "c0_bytes",
+                           "cache_pages", "timeseries"):
+            continue
+        record._add_action(source)
+    record.add_argument("--output", required=True, help="trace file path")
+    record.set_defaults(fn=_cmd_record)
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded trace against an engine"
+    )
+    replay.add_argument("--trace", required=True, help="trace file path")
+    replay.add_argument("--engine", choices=ENGINES, default="blsm")
+    replay.add_argument("--disk", choices=DISKS, default="hdd")
+    replay.add_argument("--c0-bytes", type=int, default=512 * 1024)
+    replay.add_argument("--cache-pages", type=int, default=64)
+    replay.set_defaults(fn=_cmd_replay)
+
+    selfcheck = sub.add_parser(
+        "selfcheck", help="model-check every engine (fast release gate)"
+    )
+    selfcheck.add_argument("--operations", type=int, default=3000)
+    selfcheck.add_argument("--seed", type=int, default=0)
+    selfcheck.set_defaults(fn=_cmd_selfcheck)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""bLSM: the paper's primary contribution (Sections 3 and 4).
+
+A three-level LSM-Tree (C0 in memory; C1, C1', C2 on disk) with Bloom
+filters on every on-disk component, early-terminating reads, zero-seek
+insert-if-not-exists, snowshoveling, and a pluggable merge scheduler
+(naive, gear, or spring-and-gear).
+"""
+
+from repro.core.options import BLSMOptions
+from repro.core.partitioned import PartitionedBLSM
+from repro.core.scheduler import (
+    GearScheduler,
+    MergeScheduler,
+    NaiveScheduler,
+    SpringGearScheduler,
+    make_scheduler,
+)
+from repro.core.tree import BLSM
+
+__all__ = [
+    "BLSM",
+    "BLSMOptions",
+    "GearScheduler",
+    "MergeScheduler",
+    "NaiveScheduler",
+    "PartitionedBLSM",
+    "SpringGearScheduler",
+    "make_scheduler",
+]

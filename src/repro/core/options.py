@@ -1,0 +1,123 @@
+"""Configuration for a bLSM tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.disk import DiskModel
+from repro.storage.buffer import EvictionPolicy
+from repro.storage.logical_log import DurabilityMode
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class BLSMOptions:
+    """All tunables of a :class:`~repro.core.tree.BLSM` instance.
+
+    Defaults mirror the paper's configuration at a laptop-friendly scale:
+    most memory goes to C0 (the paper gives C0 8 GB of a 10 GB budget,
+    Section 5.1), pages are 4 KB (Appendix A), Bloom filters target a
+    sub-1 % false-positive rate (Section 3.1), snowshoveling is on
+    (Section 4.2) and merges are paced by the spring-and-gear scheduler
+    (Section 4.3).
+    """
+
+    c0_bytes: int = 4 * MIB
+    """Capacity of the in-memory component C0."""
+
+    page_size: int = 4096
+    """Data page size (Appendix A argues for 4 KB)."""
+
+    buffer_pool_pages: int = 256
+    """Page cache size; the paper gives bLSM 2 GB of cache vs 8 GB C0."""
+
+    disk_model: DiskModel = field(default_factory=DiskModel.hdd)
+    """Device profile both data and log devices are built from."""
+
+    eviction_policy: EvictionPolicy = EvictionPolicy.CLOCK
+    """Buffer-pool replacement policy (CLOCK per Section 4.4.2)."""
+
+    durability: DurabilityMode = DurabilityMode.ASYNC
+    """Logical-log mode; the paper's benchmarks do not sync at commit."""
+
+    with_bloom_filters: bool = True
+    """Protect C1/C1'/C2 with Bloom filters (Section 3.1)."""
+
+    bloom_false_positive_rate: float = 0.01
+    """Target FPR; 10 bits/key gives 1 % (Section 3.1)."""
+
+    snowshovel: bool = True
+    """Consume C0 via replacement selection instead of freezing C0'."""
+
+    delta_read_repair: bool = False
+    """Reads that fold deltas re-insert the merged base record into C0
+    (Section 5.6's suggestion), so later reads of the key stop at C0
+    instead of re-collecting the delta chain from disk."""
+
+    compression_ratio: float = 1.0
+    """On-disk bytes per logical record byte (Rose-style compression,
+    Section 6): 1.0 disables compression; 0.5 halves merge bandwidth.
+    Reads are unaffected (decompression is CPU, not device time)."""
+
+    persist_bloom_filters: bool = False
+    """Write each component's Bloom filter to disk when its merge
+    commits.  The paper's prototype does not persist filters
+    (Section 4.4.3) and rebuilds them by scanning components at
+    recovery; persisting trades a small sequential write per merge
+    (~1.25 bytes/key) for a far cheaper recovery."""
+
+    scheduler: str = "spring_gear"
+    """Merge scheduler: ``naive``, ``gear`` or ``spring_gear``."""
+
+    extra_components: bool = False
+    """The Section 3.2 workaround instead of stalling: when C0 is full
+    and the C0:C1 merge cannot proceed, flush C0 to an *extra*
+    overlapping component (HBase's disabled compaction, Cassandra 1.0's
+    overlapping range partitions).  Writes never block, but every extra
+    component adds a seek to scans — the degradation the paper uses to
+    argue for level scheduling instead."""
+
+    min_r: float = 2.0
+    """Lower clamp on the size ratio R between adjacent levels."""
+
+    max_r: float = 10.0
+    """Upper clamp on R."""
+
+    low_water: float = 0.35
+    """C0 fill below which downstream merges pause (spring and gear)."""
+
+    high_water: float = 0.90
+    """C0 fill above which writes are fully backpressured."""
+
+    merge_chunk_bytes: int = 256 * 1024
+    """Merge I/O batch size (the paper's arrays use 512 KB stripes)."""
+
+    max_tick_bytes: int = 512 * 1024
+    """Cap on merge work performed inside a single write.
+
+    This is the scheduler's write-latency bound: ~2 ms of device time at
+    HDD bandwidth.  Deficits beyond the cap carry over to later writes.
+    """
+
+    seed: int = 0
+    """Seed for the memtable's skip list."""
+
+    def __post_init__(self) -> None:
+        if self.c0_bytes <= 0:
+            raise ValueError("c0_bytes must be positive")
+        if not 0.0 <= self.low_water < self.high_water <= 1.0:
+            raise ValueError(
+                "require 0 <= low_water < high_water <= 1, got "
+                f"{self.low_water}, {self.high_water}"
+            )
+        if self.min_r < 1.0 or self.max_r < self.min_r:
+            raise ValueError(
+                f"require 1 <= min_r <= max_r, got {self.min_r}, {self.max_r}"
+            )
+        if self.scheduler not in ("naive", "gear", "spring_gear"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError(
+                f"compression_ratio must be in (0, 1], got {self.compression_ratio}"
+            )

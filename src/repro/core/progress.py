@@ -1,0 +1,51 @@
+"""Merge progress estimators (Section 4.1).
+
+The gear scheduler synchronizes merges with the processes that fill each
+tree component using two estimators:
+
+* ``inprogress_i = bytes read by merge_i / (|C'_{i-1}| + |C_i|)`` — the
+  fraction of the current merge's input already consumed.  Crucially this
+  is *smooth*: any merge activity increases it, and the byte cost of a
+  fixed increase never varies by more than a small constant factor.  (The
+  paper notes that estimators focused on the larger input tree got stuck
+  during runs of non-overlapping data and caused routine stalls.)
+
+* ``outprogress_i = (inprogress_i + floor(|C_i| / |RAM|_i)) / ceil(R)`` —
+  where the merge is within the R passes it takes to fill the downstream
+  component; the clock-analogy "what hour the analog clock shows".
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def inprogress(bytes_read: int, input_bytes: int) -> float:
+    """Fraction of the merge's input consumed, clamped to [0, 1].
+
+    Args:
+        bytes_read: record bytes the merge has consumed from both inputs.
+        input_bytes: total input size ``|C'_{i-1}| + |C_i}|`` at merge
+            start.  A zero-byte merge is complete by definition.
+    """
+    if input_bytes <= 0:
+        return 1.0
+    return min(1.0, bytes_read / input_bytes)
+
+
+def outprogress(
+    inprogress_value: float, tree_bytes: int, ram_bytes: int, r: float
+) -> float:
+    """Progress of a component towards being full, in [0, 1].
+
+    Args:
+        inprogress_value: the current merge's :func:`inprogress`.
+        tree_bytes: current size of the component being filled.
+        ram_bytes: the size quantum of one upstream merge (``|RAM|_i``).
+        r: target size ratio between this component and the next.
+    """
+    if ram_bytes <= 0:
+        raise ValueError(f"ram_bytes must be positive, got {ram_bytes}")
+    passes_done = math.floor(tree_bytes / ram_bytes)
+    denominator = max(1.0, math.ceil(r))
+    return min(1.0, (inprogress_value + passes_done) / denominator)

@@ -1,0 +1,179 @@
+"""Merge schedulers (Sections 3.2, 4.1, 4.3).
+
+A *level scheduler* decides which level's merge runs next and how fast, so
+that every tree component finishes merging exactly when the component
+upstream of it fills.  The paper contrasts three policies, all implemented
+here against the same tree interface:
+
+* :class:`NaiveScheduler` — no pacing.  Merges run only when C0 is full,
+  and the application blocks for the entire downstream merge: the
+  unbounded write pauses that make base LSM-Trees impractical.
+
+* :class:`GearScheduler` — couples merge progress like clock gears: the
+  C0:C1 merge's ``inprogress`` is kept at C0's fill fraction, and the
+  C1:C2 merge's ``inprogress`` is kept at the C0:C1 merge's
+  ``outprogress``, so every hand "reaches 12" together (Section 4.1).
+
+* :class:`SpringGearScheduler` — replaces the brittle upstream coupling
+  with a spring: C0's fill is kept between a low and a high water mark;
+  merges pause when C0 empties, and writes feel proportional backpressure
+  as C0 fills (Section 4.3).  This composes with snowshoveling, which the
+  plain gear scheduler cannot (Section 4.2.2).
+
+Schedulers run on the write path: ``on_write`` is invoked after each
+application write and performs merge work (advancing the shared virtual
+clock) plus any deliberate stall.  The latency a write observes is exactly
+the clock advance across its call — merge work a scheduler fails to
+spread out shows up as a latency spike, just as in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tree import BLSM
+
+
+class MergeScheduler(ABC):
+    """Base class wiring a scheduler to its tree."""
+
+    def __init__(self) -> None:
+        self._tree: "BLSM | None" = None
+
+    def attach(self, tree: "BLSM") -> None:
+        self._tree = tree
+
+    @property
+    def tree(self) -> "BLSM":
+        if self._tree is None:
+            raise RuntimeError("scheduler is not attached to a tree")
+        return self._tree
+
+    @abstractmethod
+    def on_write(self, nbytes: int) -> None:
+        """Schedule merge work after an application write of ``nbytes``."""
+
+
+class NaiveScheduler(MergeScheduler):
+    """No pacing: block on full C0 until a whole merge pass completes.
+
+    This reproduces the behaviour of the base LSM-Tree algorithm
+    (Section 2.3.1): write latency is unbounded because a single write can
+    wait for a full rewrite of C1 — and transitively of C2.
+    """
+
+    def on_write(self, nbytes: int) -> None:
+        tree = self.tree
+        if tree.c0_fill_fraction >= 1.0:
+            tree.force_drain(target_fill=0.0, chunk=1 << 30)
+
+
+class GearScheduler(MergeScheduler):
+    """Progress-coupled pacing (Section 4.1).
+
+    After each write the scheduler computes each merge's progress deficit
+    and performs just enough work to close it, capped per tick so one
+    write never absorbs an unbounded amount of merge work (the cap is the
+    scheduler's latency bound; deficits carry over to the next write).
+    """
+
+    def __init__(self, max_tick_bytes: int = 512 * 1024) -> None:
+        super().__init__()
+        self.max_tick_bytes = max_tick_bytes
+
+    def on_write(self, nbytes: int) -> None:
+        tree = self.tree
+        budget = self.max_tick_bytes
+        # Gear 1: keep the C0:C1 merge at C0's fill fraction.
+        deficit01 = tree.c0_fill_fraction - tree.m01_inprogress
+        if deficit01 > 0:
+            work = min(budget, int(deficit01 * tree.m01_input_bytes) + 1)
+            budget -= tree.step_m01(work)
+        # Gear 2: keep the C1:C2 merge at the C0:C1 merge's outprogress.
+        deficit12 = tree.m01_outprogress - tree.m12_inprogress
+        if deficit12 > 0 and budget > 0:
+            work = min(budget, int(deficit12 * tree.m12_input_bytes) + 1)
+            tree.step_m12(work)
+        if tree.c0_fill_fraction >= 1.0:
+            tree.force_drain(target_fill=0.95, chunk=self.max_tick_bytes)
+
+
+class SpringGearScheduler(MergeScheduler):
+    """Water-mark pacing with proportional backpressure (Section 4.3).
+
+    C0's fill fraction *is* the progress indicator: below the low water
+    mark all merges pause (C0 is allowed to refill, absorbing load
+    spikes); between the marks, merge work per write scales with how far
+    C0 has filled; above the high water mark the write stalls until
+    merges bring C0 back down.  The downstream C1:C2 merge keeps the gear
+    coupling, paced off the C0:C1 merge's outprogress.
+    """
+
+    def __init__(
+        self,
+        low_water: float = 0.35,
+        high_water: float = 0.90,
+        max_tick_bytes: int = 512 * 1024,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= low_water < high_water <= 1.0:
+            raise ValueError(
+                f"require 0 <= low < high <= 1, got {low_water}, {high_water}"
+            )
+        self.low_water = low_water
+        self.high_water = high_water
+        self.max_tick_bytes = max_tick_bytes
+
+    def on_write(self, nbytes: int) -> None:
+        tree = self.tree
+        fill = tree.c0_fill_fraction
+        if fill <= self.low_water:
+            return  # spring unwound: pause merges, let C0 absorb writes
+        pressure = min(
+            1.0, (fill - self.low_water) / (self.high_water - self.low_water)
+        )
+        # Steady state: each written byte must eventually push an
+        # amplified volume of merge I/O.  Scale that volume by the spring
+        # pressure, with headroom (the 2x) so the merge can catch up after
+        # an idle spell instead of only ever breaking even.
+        amplification = tree.write_amplification_estimate()
+        budget = min(
+            self.max_tick_bytes, int(2.0 * pressure * amplification * nbytes) + 1
+        )
+        worked = tree.step_m01(budget)
+        deficit12 = tree.m01_outprogress - tree.m12_inprogress
+        if deficit12 > 0:
+            work = min(
+                self.max_tick_bytes, int(deficit12 * tree.m12_input_bytes) + 1
+            )
+            tree.step_m12(work)
+        if worked == 0 and fill >= self.high_water:
+            # C0:C1 could not run (typically blocked on promotion while
+            # the C1:C2 merge finishes); drive the blocker.
+            tree.step_m12(self.max_tick_bytes)
+        if tree.c0_fill_fraction >= 1.0:
+            tree.force_drain(
+                target_fill=self.high_water, chunk=self.max_tick_bytes
+            )
+
+
+def make_scheduler(
+    name: str,
+    low_water: float = 0.35,
+    high_water: float = 0.90,
+    max_tick_bytes: int = 512 * 1024,
+) -> MergeScheduler:
+    """Build a scheduler by name: ``naive``, ``gear`` or ``spring_gear``."""
+    if name == "naive":
+        return NaiveScheduler()
+    if name == "gear":
+        return GearScheduler(max_tick_bytes=max_tick_bytes)
+    if name == "spring_gear":
+        return SpringGearScheduler(
+            low_water=low_water,
+            high_water=high_water,
+            max_tick_bytes=max_tick_bytes,
+        )
+    raise ValueError(f"unknown scheduler {name!r}")

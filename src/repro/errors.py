@@ -1,0 +1,59 @@
+"""Exception hierarchy for the bLSM reproduction library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class StorageError(ReproError):
+    """Raised when the storage substrate is used incorrectly."""
+
+
+class PageNotFoundError(StorageError):
+    """Raised when a page id does not exist on the simulated device."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} does not exist on this device")
+        self.page_id = page_id
+
+
+class RegionError(StorageError):
+    """Raised on invalid region (extent) allocation or deallocation."""
+
+
+class LogError(StorageError):
+    """Raised when a log is used incorrectly (bad LSN, closed log, ...)."""
+
+
+class RecoveryError(StorageError):
+    """Raised when crash recovery cannot reconstruct a consistent state."""
+
+
+class EngineError(ReproError):
+    """Raised when a key-value engine is driven incorrectly."""
+
+
+class EngineClosedError(EngineError):
+    """Raised when an operation is attempted on a closed engine."""
+
+    def __init__(self) -> None:
+        super().__init__("engine has been closed")
+
+
+class DuplicateKeyError(EngineError):
+    """Raised by ``insert_unique`` when the key already exists."""
+
+    def __init__(self, key: bytes) -> None:
+        super().__init__(f"key already exists: {key!r}")
+        self.key = key
+
+
+class WorkloadError(ReproError):
+    """Raised when a YCSB workload specification is invalid."""

@@ -1,0 +1,150 @@
+"""A skip list: the ordered, update-in-place structure backing C0.
+
+The LSM-Tree's in-memory component must support efficient point updates
+*and* ordered scans (Section 2.3: "the in-memory tree supports efficient
+ordered scans. Therefore, each merge can be performed in a single pass").
+A skip list provides expected O(log n) insert/lookup/delete and O(1)
+ordered successor steps, and is the structure used by LevelDB's memtable.
+
+Randomness is drawn from a per-instance seeded generator so simulations
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+_MAX_LEVEL = 24
+_P_INVERSE = 2  # promote with probability 1/2
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: bytes | None, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list["_Node | None"] = [None] * level
+
+
+class SkipList:
+    """Sorted mapping from byte-string keys to arbitrary values."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._length = 0
+        self._random = random.Random(seed)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._random.randrange(_P_INVERSE) == 0:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: bytes) -> list[_Node]:
+        """Per level, the rightmost node with key strictly less than ``key``."""
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+            update[level] = node
+        return update
+
+    def insert(self, key: bytes, value: Any) -> Any:
+        """Insert or overwrite; return the previous value or ``None``."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            old = candidate.value
+            candidate.value = value
+            return old
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._length += 1
+        return None
+
+    def get(self, key: bytes) -> Any:
+        """Return the value for ``key``, or ``None`` if absent."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        return None
+
+    def remove(self, key: bytes) -> Any:
+        """Remove ``key``; return its value, or ``None`` if absent."""
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is None or candidate.key != key:
+            return None
+        for i in range(len(candidate.forward)):
+            if update[i].forward[i] is candidate:
+                update[i].forward[i] = candidate.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._length -= 1
+        return candidate.value
+
+    def first(self) -> tuple[bytes, Any] | None:
+        """Smallest (key, value) pair, or ``None`` when empty."""
+        node = self._head.forward[0]
+        if node is None:
+            return None
+        assert node.key is not None
+        return node.key, node.value
+
+    def ceiling(self, key: bytes) -> tuple[bytes, Any] | None:
+        """Smallest (key, value) with key >= ``key``, or ``None``."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+        candidate = node.forward[0]
+        if candidate is None:
+            return None
+        assert candidate.key is not None
+        return candidate.key, candidate.value
+
+    def __iter__(self) -> Iterator[tuple[bytes, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            assert node.key is not None
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def iter_from(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        """Iterate (key, value) pairs with key >= ``key``, in order."""
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            nxt = node.forward[level]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[level]
+        node = node.forward[0]
+        while node is not None:
+            assert node.key is not None
+            yield node.key, node.value
+            node = node.forward[0]

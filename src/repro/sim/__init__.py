@@ -1,0 +1,17 @@
+"""Simulated storage substrate: virtual clock, device models, I/O statistics.
+
+The paper's evaluation ran on real RAID arrays; a pure-Python reproduction
+cannot match absolute device throughput, so every storage engine in this
+repository performs its I/O against a :class:`SimDisk`.  A ``SimDisk``
+charges seek and transfer costs from a :class:`DiskModel` to a shared
+:class:`VirtualClock`, and records the seek/byte counts that the paper's
+analysis (Section 2.1) reasons about.  Throughput and latency reported by
+the benchmark harness are measured in virtual time, which reproduces the
+paper's *shapes* (relative wins, crossover points) deterministically.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.disk import DiskModel, SimDisk
+from repro.sim.stats import IOStats
+
+__all__ = ["DiskModel", "IOStats", "SimDisk", "VirtualClock"]

@@ -1,0 +1,41 @@
+"""A virtual clock shared by every simulated component.
+
+All device service times, merge work and backpressure stalls advance this
+clock; no component ever consults wall-clock time.  This makes every
+benchmark in the repository deterministic and independent of host speed.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonically increasing virtual time, in seconds.
+
+    The clock starts at zero.  Components advance it by the service time of
+    the work they perform; the benchmark harness reads :attr:`now` to
+    compute latencies and throughput windows.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds since the simulation started."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Raises:
+            ValueError: if ``seconds`` is negative (time never goes back).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,69 @@
+"""I/O statistics counters.
+
+The paper characterizes indexes by *read amplification* (worst-case seeks
+per probe) and *write amplification* (total sequential I/O per byte
+written), Section 2.1.  :class:`IOStats` records the raw counters those
+metrics are computed from; every :class:`~repro.sim.disk.SimDisk` owns one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStats:
+    """Cumulative I/O counters for one simulated device.
+
+    Attributes:
+        seeks: number of non-sequential accesses (head repositioning).
+        read_ops: number of read requests serviced.
+        write_ops: number of write requests serviced.
+        bytes_read: total bytes transferred from the device.
+        bytes_written: total bytes transferred to the device.
+        busy_seconds: total virtual time the device spent servicing I/O.
+    """
+
+    seeks: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_seconds: float = 0.0
+
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        return IOStats(
+            seeks=self.seeks,
+            read_ops=self.read_ops,
+            write_ops=self.write_ops,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            busy_seconds=self.busy_seconds,
+        )
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Return the counters accumulated since the ``earlier`` snapshot."""
+        return IOStats(
+            seeks=self.seeks - earlier.seeks,
+            read_ops=self.read_ops - earlier.read_ops,
+            write_ops=self.write_ops - earlier.write_ops,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            busy_seconds=self.busy_seconds - earlier.busy_seconds,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes transferred in either direction."""
+        return self.bytes_read + self.bytes_written
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(
+            seeks=self.seeks + other.seeks,
+            read_ops=self.read_ops + other.read_ops,
+            write_ops=self.write_ops + other.write_ops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            busy_seconds=self.busy_seconds + other.busy_seconds,
+        )

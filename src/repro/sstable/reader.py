@@ -1,0 +1,249 @@
+"""Reading on-disk tree components.
+
+An :class:`SSTable` is an immutable sorted run of records.  Its block
+index (first key, page location per block) lives in RAM — the paper's
+read-fanout analysis (Section 2.1, Appendix A) assumes index nodes fit in
+memory and counts only leaf-page cache — so an uncached point lookup costs
+exactly one block read: one seek plus the block's pages.
+
+Two read paths exist:
+
+* ``get``/``scan`` go through the buffer manager (application reads).
+* ``iter_records`` bypasses the buffer manager and reads page runs in
+  large chunks (merge reads; the paper pins merge pages separately from
+  the application cache and batches iterator operations, Section 4.4.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bloom import BloomFilter
+from repro.records import Record
+from repro.storage.region import Extent
+from repro.storage.stasis import Stasis
+
+
+@dataclass(frozen=True)
+class Block:
+    """One indexed unit: ``npages`` consecutive pages holding records.
+
+    The record tuple is stored on the first page; continuation pages exist
+    so that records larger than a page are charged their true transfer
+    size (the paper's append-only data page format stores records that
+    span multiple pages).
+    """
+
+    first_key: bytes
+    first_page_id: int
+    npages: int
+    nrecords: int
+
+
+class SSTable:
+    """An immutable on-disk tree component."""
+
+    def __init__(
+        self,
+        stasis: Stasis,
+        blocks: list[Block],
+        extents: list[Extent],
+        key_count: int,
+        nbytes: int,
+        bloom: BloomFilter | None,
+        tree_id: int,
+        max_key: bytes | None = None,
+    ) -> None:
+        self._stasis = stasis
+        self.blocks = blocks
+        self.extents = extents
+        self.key_count = key_count
+        self.nbytes = nbytes
+        self.bloom = bloom
+        self.tree_id = tree_id
+        self._max_key = max_key
+        self._first_keys = [block.first_key for block in blocks]
+        self._freed = False
+        self.bloom_extent: Extent | None = None
+        """Where the persisted Bloom filter lives, if it was persisted."""
+
+    @property
+    def min_key(self) -> bytes | None:
+        return self.blocks[0].first_key if self.blocks else None
+
+    @property
+    def max_key(self) -> bytes | None:
+        """Largest key stored, or ``None`` when empty (set by the builder)."""
+        return self._max_key
+
+    @property
+    def npages(self) -> int:
+        """Pages across all extents (includes alignment waste)."""
+        return sum(extent.length for extent in self.extents)
+
+    def index_ram_bytes(self, pointer_bytes: int = 8) -> int:
+        """RAM the in-memory block index consumes (Appendix A).
+
+        One (first key, page pointer, length) entry per block; this is
+        the "index nodes fit in RAM" cost the read-fanout analysis
+        charges.
+        """
+        return sum(
+            len(block.first_key) + pointer_bytes + 8 for block in self.blocks
+        )
+
+    def might_contain(self, key: bytes) -> bool:
+        """Bloom-filter check; conservatively ``True`` with no filter."""
+        return self.bloom is None or key in self.bloom
+
+    def get(self, key: bytes) -> Record | None:
+        """Point lookup through the buffer manager.
+
+        Checks the Bloom filter first (Section 3.1): a negative answer
+        costs zero I/O; a positive answer reads exactly one block.
+        """
+        if not self.blocks or not self.might_contain(key):
+            return None
+        if self._max_key is not None and key > self._max_key:
+            return None
+        index = bisect.bisect_right(self._first_keys, key) - 1
+        if index < 0:
+            return None
+        records = self._read_block(self.blocks[index])
+        position = bisect.bisect_left(records, key, key=lambda r: r.key)
+        if position < len(records) and records[position].key == key:
+            return records[position]
+        return None
+
+    def scan(
+        self,
+        lo: bytes,
+        hi: bytes | None = None,
+        readahead_blocks: int = 16,
+    ) -> Iterator[Record]:
+        """Yield records with lo <= key < hi, through the buffer manager.
+
+        Bloom filters do not help scans (Section 3.3); the first block
+        access is the component's per-scan seek.  Blocks are read
+        ``readahead_blocks`` at a time into a private readahead buffer
+        (not the shared page cache, which interleaved component streams
+        would thrash), so a long scan stays near-sequential per
+        component — as any production scan path behaves.
+        """
+        if not self.blocks:
+            return
+        index = max(0, bisect.bisect_right(self._first_keys, lo) - 1)
+        position = index
+        while position < len(self.blocks):
+            group = self._contiguous_group(position, readahead_blocks, hi)
+            if not group:
+                return
+            for records in self._group_records(group):
+                for record in records:
+                    if record.key < lo:
+                        continue
+                    if hi is not None and record.key >= hi:
+                        return
+                    yield record
+            position += len(group)
+
+    def _contiguous_group(
+        self, position: int, limit: int, hi: bytes | None
+    ) -> list[Block]:
+        """Up to ``limit`` physically contiguous blocks from ``position``."""
+        group: list[Block] = []
+        for block in self.blocks[position : position + limit]:
+            if hi is not None and block.first_key >= hi:
+                break
+            if group and (
+                group[-1].first_page_id + group[-1].npages != block.first_page_id
+            ):
+                break
+            group.append(block)
+        return group
+
+    def _group_records(
+        self, group: list[Block]
+    ) -> Iterator[tuple[Record, ...]]:
+        """Record tuples for a contiguous block group.
+
+        Served from the shared cache when fully resident (free), else
+        fetched as one sequential transfer into a private buffer.
+        """
+        first = group[0].first_page_id
+        count = group[-1].first_page_id + group[-1].npages - first
+        if all(
+            page_id in self._stasis.buffer
+            for page_id in range(first, first + count)
+        ):
+            for block in group:
+                yield self._read_block(block)
+            return
+        payloads = self._stasis.pagefile.read_run(first, count)
+        for block in group:
+            yield payloads[block.first_page_id - first]
+
+    def iter_records(self, chunk_pages: int = 64) -> Iterator[Record]:
+        """Yield all records in order, reading page runs in large chunks.
+
+        This is the merge read path: it bypasses the buffer manager so
+        merges do not evict the application's working set, and it batches
+        contiguous pages so merge reads are charged as sequential I/O.
+        """
+        pending: list[Block] = []
+        pending_pages = 0
+        for block in self.blocks:
+            contiguous = (
+                not pending
+                or pending[-1].first_page_id + pending[-1].npages
+                == block.first_page_id
+            )
+            if pending and (not contiguous or pending_pages >= chunk_pages):
+                yield from self._drain_chunk(pending)
+                pending, pending_pages = [], 0
+            pending.append(block)
+            pending_pages += block.npages
+        if pending:
+            yield from self._drain_chunk(pending)
+
+    def free(self) -> None:
+        """Release the component's extents and cached pages.
+
+        Deleted components can never be read again, so their buffered
+        pages are dropped without writeback.
+        """
+        if self._freed:
+            return
+        self._freed = True
+        extents = list(self.extents)
+        if self.bloom_extent is not None:
+            extents.append(self.bloom_extent)
+        for extent in extents:
+            for page_id in range(extent.start, extent.end):
+                self._stasis.buffer.invalidate(page_id)
+                self._stasis.pagefile.free_page(page_id)
+            self._stasis.regions.free(extent)
+
+    def _read_block(self, block: Block) -> tuple[Record, ...]:
+        records = self._stasis.buffer.get(block.first_page_id)
+        for page_id in range(
+            block.first_page_id + 1, block.first_page_id + block.npages
+        ):
+            self._stasis.buffer.get(page_id)  # charge continuation pages
+        return records
+
+    def _drain_chunk(self, blocks: list[Block]) -> Iterator[Record]:
+        first = blocks[0].first_page_id
+        count = blocks[-1].first_page_id + blocks[-1].npages - first
+        payloads = self._stasis.pagefile.read_run(first, count)
+        for block in blocks:
+            records = payloads[block.first_page_id - first]
+            yield from records
+
+    def __repr__(self) -> str:
+        return (
+            f"SSTable(tree_id={self.tree_id}, keys={self.key_count}, "
+            f"nbytes={self.nbytes}, blocks={len(self.blocks)})"
+        )

@@ -1,0 +1,106 @@
+"""Fixed-size page store over a simulated device.
+
+Pages hold immutable Python payloads (tuples of records, index entries,
+metadata dictionaries) rather than serialized bytes: functional behaviour
+is real, while I/O cost is charged from page geometry.  A page read or
+write transfers exactly ``page_size`` bytes at the page's byte address, so
+sequential page runs inside one extent are charged bandwidth only and
+scattered accesses pay a seek — matching the paper's cost model.
+
+The payload dictionary is the *durable* state: anything written here
+survives a simulated crash, anything held only by the buffer manager does
+not.
+
+The paper argues (Appendix A) that 4 KB data pages are the right choice on
+modern hardware; that is the default here and the page size is a knob so
+the InnoDB stand-in can use the 16 KB pages the paper calls out.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PageNotFoundError
+from repro.sim.disk import SimDisk
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageFile:
+    """Durable page payloads addressed by page id.
+
+    Page id ``p`` lives at byte offset ``p * page_size`` on the underlying
+    device, so adjacent page ids are physically adjacent — the property the
+    region allocator exists to provide.
+    """
+
+    def __init__(self, disk: SimDisk, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.disk = disk
+        self.page_size = page_size
+        self._pages: dict[int, Any] = {}
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def read_page(self, page_id: int) -> Any:
+        """Read a page payload, charging one page of device read I/O."""
+        try:
+            payload = self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None
+        self.disk.read(page_id * self.page_size, self.page_size)
+        return payload
+
+    def write_page(self, page_id: int, payload: Any) -> None:
+        """Write a page payload, charging one page of device write I/O."""
+        if page_id < 0:
+            raise ValueError(f"page_id must be non-negative, got {page_id}")
+        self.disk.write(page_id * self.page_size, self.page_size)
+        self._pages[page_id] = payload
+
+    def read_run(self, first_page_id: int, count: int) -> list[Any]:
+        """Read ``count`` consecutive pages as one contiguous transfer.
+
+        Merges batch their I/O (the paper's arrays use 512 KB stripes), so
+        a run of pages costs at most one seek plus bandwidth.
+        """
+        if count <= 0:
+            return []
+        payloads = []
+        for page_id in range(first_page_id, first_page_id + count):
+            try:
+                payloads.append(self._pages[page_id])
+            except KeyError:
+                raise PageNotFoundError(page_id) from None
+        self.disk.read(first_page_id * self.page_size, count * self.page_size)
+        return payloads
+
+    def write_run(self, first_page_id: int, payloads: list[Any]) -> None:
+        """Write consecutive pages as one contiguous transfer."""
+        if not payloads:
+            return
+        if first_page_id < 0:
+            raise ValueError(
+                f"first_page_id must be non-negative, got {first_page_id}"
+            )
+        self.disk.write(
+            first_page_id * self.page_size, len(payloads) * self.page_size
+        )
+        for i, payload in enumerate(payloads):
+            self._pages[first_page_id + i] = payload
+
+    def free_page(self, page_id: int) -> None:
+        """Drop a page's durable payload (no I/O charged, like TRIM)."""
+        self._pages.pop(page_id, None)
+
+    def peek(self, page_id: int) -> Any:
+        """Read a payload without charging I/O (test/recovery helper)."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise PageNotFoundError(page_id) from None

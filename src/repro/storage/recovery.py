@@ -1,0 +1,42 @@
+"""Crash recovery helpers.
+
+Recovery proceeds in two phases, per Section 4.4.2:
+
+1. The physical WAL yields the newest committed manifest, giving a
+   physically consistent set of on-disk tree components (merges commit
+   atomically, so a torn merge simply never appears in the manifest).
+2. The logical log is replayed to rebuild the in-memory component (C0)
+   from the writes that had not yet reached a durable tree.  In the
+   degraded ``NONE`` durability mode this phase is empty and those writes
+   are lost — "older (up to a well-defined point in time) updates are
+   available, but recent updates may be lost".
+
+Bloom filters are *not* persisted (Section 4.4.3); the engine rebuilds
+them from tree component metadata after recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.storage.logical_log import LogicalRecord
+from repro.storage.stasis import Stasis
+
+ReplayFn = Callable[[LogicalRecord], None]
+
+
+def recover(stasis: Stasis, apply_record: ReplayFn) -> Any:
+    """Run both recovery phases and return the recovered manifest.
+
+    Args:
+        stasis: the crashed storage substrate.
+        apply_record: engine callback that re-applies one logical record
+            (typically by re-inserting it into a fresh memtable).
+
+    Returns:
+        The newest committed manifest payload.
+    """
+    manifest = stasis.recover_manifest()
+    for record in stasis.logical_log.replay():
+        apply_record(record)
+    return manifest

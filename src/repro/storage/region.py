@@ -1,0 +1,128 @@
+"""Region (extent) allocator.
+
+Stasis's region allocator hands out chunks of disk that are *guaranteed
+contiguous*, "eliminating the possibility of disk fragmentation and other
+overheads inherent in general-purpose filesystems" (Section 4.4.2).  Tree
+merges allocate one extent per new tree component, write it strictly
+sequentially, and free the extents of the components they replace.
+
+The allocator is first-fit over a sorted free list with coalescing of
+adjacent free extents, so a long-running simulation does not leak space.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import RegionError
+
+
+@dataclass(frozen=True, order=True)
+class Extent:
+    """A contiguous run of pages: ``[start, start + length)``."""
+
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """One past the last page id in the extent."""
+        return self.start + self.length
+
+    def __contains__(self, page_id: int) -> bool:
+        return self.start <= page_id < self.end
+
+
+class RegionAllocator:
+    """First-fit extent allocator with free-list coalescing.
+
+    Page ids grow without bound (the simulated device has no fixed
+    capacity), but freed extents are reused before new space is claimed so
+    that sequential layout, and therefore seek accounting, stays realistic.
+    """
+
+    def __init__(self) -> None:
+        self._free: list[Extent] = []  # sorted by start, non-adjacent
+        self._next_page = 0
+        self._allocated: dict[int, Extent] = {}  # start -> extent
+
+    @property
+    def high_water_page(self) -> int:
+        """Highest page id ever handed out plus one."""
+        return self._next_page
+
+    @property
+    def allocated_extents(self) -> list[Extent]:
+        """Currently allocated extents, sorted by start page."""
+        return sorted(self._allocated.values())
+
+    def allocate(self, length: int) -> Extent:
+        """Allocate a contiguous extent of ``length`` pages."""
+        if length <= 0:
+            raise RegionError(f"extent length must be positive, got {length}")
+        for i, free in enumerate(self._free):
+            if free.length >= length:
+                extent = Extent(free.start, length)
+                remainder = free.length - length
+                if remainder:
+                    self._free[i] = Extent(free.start + length, remainder)
+                else:
+                    del self._free[i]
+                self._allocated[extent.start] = extent
+                return extent
+        extent = Extent(self._next_page, length)
+        self._next_page += length
+        self._allocated[extent.start] = extent
+        return extent
+
+    def free(self, extent: Extent) -> None:
+        """Return an extent to the free list, coalescing neighbours."""
+        current = self._allocated.pop(extent.start, None)
+        if current != extent:
+            raise RegionError(f"extent {extent} is not currently allocated")
+        i = bisect.bisect_left(self._free, extent)
+        self._free.insert(i, extent)
+        self._coalesce_around(i)
+
+    def shrink(self, extent: Extent, new_length: int) -> Extent:
+        """Give back the tail of an allocated extent.
+
+        Builders over-allocate from a size estimate and return the unused
+        tail when they finish, so estimates never leak space.
+        """
+        current = self._allocated.get(extent.start)
+        if current != extent:
+            raise RegionError(f"extent {extent} is not currently allocated")
+        if not 0 < new_length <= extent.length:
+            raise RegionError(
+                f"cannot shrink extent of length {extent.length} to {new_length}"
+            )
+        if new_length == extent.length:
+            return extent
+        shrunk = Extent(extent.start, new_length)
+        tail = Extent(extent.start + new_length, extent.length - new_length)
+        self._allocated[extent.start] = shrunk
+        i = bisect.bisect_left(self._free, tail)
+        self._free.insert(i, tail)
+        self._coalesce_around(i)
+        return shrunk
+
+    def _coalesce_around(self, i: int) -> None:
+        # Merge with the successor first so the index of ``i`` stays valid.
+        if i + 1 < len(self._free) and self._free[i].end == self._free[i + 1].start:
+            merged = Extent(
+                self._free[i].start,
+                self._free[i].length + self._free[i + 1].length,
+            )
+            self._free[i : i + 2] = [merged]
+        if i > 0 and self._free[i - 1].end == self._free[i].start:
+            merged = Extent(
+                self._free[i - 1].start,
+                self._free[i - 1].length + self._free[i].length,
+            )
+            self._free[i - 1 : i + 1] = [merged]
+
+    def free_pages(self) -> int:
+        """Total pages currently on the free list."""
+        return sum(extent.length for extent in self._free)

@@ -1,0 +1,108 @@
+"""The Stasis facade: one object owning the whole storage stack.
+
+Engines construct a :class:`Stasis` and get a shared virtual clock, a data
+device with a page file, buffer manager and region allocator, and two logs
+on a dedicated log device (physical WAL for the tree manifest, logical log
+for individual writes) — the architecture of Section 4.4.2.
+
+A *manifest* is the engine's durable root metadata (which tree components
+exist, their extents, key counts and timestamps).  ``commit_manifest``
+makes a new manifest durable atomically: it appends one WAL record and
+forces the WAL, mirroring how "Stasis ensures each tree merge runs in its
+own atomic and durable transaction".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import RecoveryError
+from repro.sim.clock import VirtualClock
+from repro.sim.disk import DiskModel, SimDisk
+from repro.storage.buffer import BufferManager, EvictionPolicy
+from repro.storage.logical_log import DurabilityMode, LogicalLog
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.region import RegionAllocator
+from repro.storage.wal import WriteAheadLog
+
+_MANIFEST_KIND = "manifest"
+
+
+class Stasis:
+    """Transactional storage substrate over simulated devices."""
+
+    def __init__(
+        self,
+        disk_model: DiskModel | None = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_pool_pages: int = 1024,
+        eviction_policy: EvictionPolicy = EvictionPolicy.CLOCK,
+        durability: DurabilityMode = DurabilityMode.ASYNC,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        model = disk_model if disk_model is not None else DiskModel.hdd()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.data_disk = SimDisk(model, self.clock, name=f"{model.name}-data")
+        self.log_disk = SimDisk(model, self.clock, name=f"{model.name}-log")
+        self.pagefile = PageFile(self.data_disk, page_size)
+        self.buffer = BufferManager(
+            self.pagefile, buffer_pool_pages, eviction_policy
+        )
+        self.regions = RegionAllocator()
+        self.wal = WriteAheadLog(self.log_disk)
+        self.logical_log = LogicalLog(self.log_disk, durability)
+        self._committed_manifest: Any = None
+
+    @property
+    def page_size(self) -> int:
+        return self.pagefile.page_size
+
+    def commit_manifest(self, manifest: Any) -> None:
+        """Durably install a new manifest (one forced WAL record)."""
+        self.wal.append(_MANIFEST_KIND, manifest)
+        self.wal.force()
+        self._committed_manifest = manifest
+
+    def recover_manifest(self) -> Any:
+        """Return the newest durable manifest, replaying the WAL.
+
+        Raises:
+            RecoveryError: if no manifest was ever committed.
+        """
+        manifest = None
+        for record in self.wal.records():
+            if record.kind == _MANIFEST_KIND:
+                manifest = record.payload
+        if manifest is None:
+            raise RecoveryError("no committed manifest found in the WAL")
+        return manifest
+
+    def checkpoint_wal(self) -> None:
+        """Truncate the WAL to only the newest manifest record."""
+        if self._committed_manifest is None:
+            return
+        keep_lsn = self.wal.append(_MANIFEST_KIND, self._committed_manifest)
+        self.wal.force()
+        self.wal.truncate(keep_lsn)
+
+    def crash(self) -> None:
+        """Simulate a crash: volatile state is lost, durable state kept.
+
+        Drops the buffer pool (dirty pages included) and un-forced log
+        tails.  The page file and forced log records survive.
+        """
+        self.buffer.drop_all()
+        self.wal.crash()
+        self.logical_log.crash()
+
+    def io_summary(self) -> dict[str, Any]:
+        """Combined device counters, for benchmark reporting."""
+        data, log = self.data_disk.stats, self.log_disk.stats
+        return {
+            "data_seeks": data.seeks,
+            "data_bytes_read": data.bytes_read,
+            "data_bytes_written": data.bytes_written,
+            "log_bytes_written": log.bytes_written,
+            "busy_seconds": data.busy_seconds + log.busy_seconds,
+            "buffer_hit_rate": self.buffer.hit_rate,
+        }

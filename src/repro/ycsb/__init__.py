@@ -1,0 +1,52 @@
+"""YCSB re-implementation (Section 5.1).
+
+The paper generates load with the Yahoo! Cloud Serving Benchmark [11]:
+synthetic workloads over a keyspace with uniform or Zipfian request
+distributions and configurable operation mixes.  This package provides
+the same generator surface — request distributions (including YCSB's
+scrambled Zipfian with its default parameters), the standard A-F workload
+mixes, and a closed-loop runner that measures latency and throughput in
+virtual time.
+"""
+
+from repro.ycsb.distributions import (
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from repro.ycsb.generator import Operation, OperationGenerator, OpKind
+from repro.ycsb.metrics import BucketedHistogram, LatencyStats, Timeseries
+from repro.ycsb.open_loop import OpenLoopResult, run_open_loop
+from repro.ycsb.runner import RunResult, load_phase, run_workload
+from repro.ycsb.trace import (
+    read_trace,
+    record_workload_trace,
+    replay_trace,
+    write_trace,
+)
+from repro.ycsb.workload import WorkloadSpec, standard_workload
+
+__all__ = [
+    "BucketedHistogram",
+    "LatencyStats",
+    "LatestChooser",
+    "OpenLoopResult",
+    "Operation",
+    "OperationGenerator",
+    "OpKind",
+    "RunResult",
+    "run_open_loop",
+    "ScrambledZipfianChooser",
+    "Timeseries",
+    "UniformChooser",
+    "WorkloadSpec",
+    "ZipfianChooser",
+    "load_phase",
+    "read_trace",
+    "record_workload_trace",
+    "replay_trace",
+    "run_workload",
+    "standard_workload",
+    "write_trace",
+]

@@ -1,0 +1,56 @@
+"""ASCII rendering of benchmark series.
+
+The benchmark harness writes its reproduced tables to text files; for
+the timeseries figures (7 and 9) a sparkline makes the shape — steady
+vs collapsing throughput — visible in the report itself.
+"""
+
+from __future__ import annotations
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int | None = None) -> str:
+    """One-line block-character rendering of a series.
+
+    Args:
+        values: the series; negative values are clamped to zero.
+        width: optional output width; the series is downsampled by
+            averaging equal slices.
+    """
+    if not values:
+        return ""
+    series = [max(0.0, value) for value in values]
+    if width is not None and width > 0 and len(series) > width:
+        series = _downsample(series, width)
+    top = max(series)
+    if top <= 0:
+        return _BLOCKS[0] * len(series)
+    steps = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[min(steps, int(round(value / top * steps)))]
+        for value in series
+    )
+
+
+def _downsample(series: list[float], width: int) -> list[float]:
+    chunk = len(series) / width
+    output = []
+    for i in range(width):
+        lo = int(i * chunk)
+        hi = max(lo + 1, int((i + 1) * chunk))
+        window = series[lo:hi]
+        output.append(sum(window) / len(window))
+    return output
+
+
+def render_timeseries(
+    label: str, values: list[float], width: int = 72
+) -> list[str]:
+    """A labelled sparkline plus its scale, as report lines."""
+    if not values:
+        return [f"{label}: (empty)"]
+    return [
+        f"{label}  max={max(values):,.0f}  min={min(values):,.0f}",
+        sparkline(values, width=width),
+    ]

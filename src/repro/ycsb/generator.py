@@ -1,0 +1,111 @@
+"""Operation stream generation.
+
+Turns a :class:`~repro.ycsb.workload.WorkloadSpec` into a deterministic
+stream of operations against a growing keyspace, the way YCSB's client
+threads do.  Keys follow YCSB's convention (``user`` + padded number);
+by default insertion order is *hashed* (random-looking), matching the
+paper's "50GB unordered data set" (Section 5.2); ordered mode reproduces
+the pre-sorted load InnoDB needs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.ycsb.distributions import LatestChooser, fnv1a_64, make_chooser
+from repro.ycsb.workload import WorkloadSpec
+
+
+class OpKind(enum.Enum):
+    """What one generated operation does."""
+
+    READ = "read"
+    UPDATE = "update"  # read-modify-write semantics
+    BLIND_WRITE = "blind_write"
+    INSERT = "insert"
+    SCAN = "scan"
+    RMW = "rmw"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation to run against an engine."""
+
+    kind: OpKind
+    key: bytes
+    value: bytes | None = None
+    scan_length: int = 0
+
+
+def make_key(index: int, ordered: bool) -> bytes:
+    """YCSB key naming: ``user`` + number (hashed unless ordered)."""
+    if ordered:
+        return b"user%019d" % index
+    return b"user%019d" % fnv1a_64(index)
+
+
+def make_value(rng: random.Random, nbytes: int) -> bytes:
+    """A value payload of the configured size (content is irrelevant)."""
+    return bytes([rng.randrange(256)]) * nbytes
+
+
+class OperationGenerator:
+    """Deterministic operation stream for one workload."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self._rng = random.Random(seed)
+        self._inserted = spec.record_count
+        self._chooser = make_chooser(
+            spec.request_distribution, max(1, spec.record_count)
+        )
+        choices = [
+            (OpKind.READ, spec.read_proportion),
+            (OpKind.UPDATE, spec.update_proportion),
+            (OpKind.BLIND_WRITE, spec.blind_write_proportion),
+            (OpKind.INSERT, spec.insert_proportion),
+            (OpKind.SCAN, spec.scan_proportion),
+            (OpKind.RMW, spec.rmw_proportion),
+            (OpKind.DELETE, spec.delete_proportion),
+        ]
+        self._kinds = [kind for kind, p in choices if p > 0]
+        self._weights = [p for _, p in choices if p > 0]
+
+    def load_keys(self):
+        """Keys for the load phase, in the configured insertion order."""
+        for index in range(self.spec.record_count):
+            yield make_key(index, self.spec.ordered_inserts)
+
+    def operations(self):
+        """Yield ``spec.operation_count`` operations."""
+        spec = self.spec
+        for _ in range(spec.operation_count):
+            kind = self._rng.choices(self._kinds, weights=self._weights)[0]
+            if kind is OpKind.INSERT:
+                key = make_key(self._inserted, spec.ordered_inserts)
+                self._inserted += 1
+                if isinstance(self._chooser, LatestChooser):
+                    self._chooser.grow(self._inserted)
+                yield Operation(
+                    kind, key, make_value(self._rng, spec.value_bytes)
+                )
+                continue
+            key = make_key(
+                self._chooser.next(self._rng), spec.ordered_inserts
+            )
+            if kind is OpKind.SCAN:
+                length = self._rng.randint(
+                    spec.scan_length_min, spec.scan_length_max
+                )
+                yield Operation(kind, key, scan_length=length)
+            elif kind is OpKind.READ:
+                yield Operation(kind, key)
+            elif kind is OpKind.DELETE:
+                yield Operation(kind, key)
+            else:  # UPDATE, BLIND_WRITE, RMW carry a fresh value
+                yield Operation(
+                    kind, key, make_value(self._rng, spec.value_bytes)
+                )

@@ -1,0 +1,95 @@
+"""Open-loop (throttled) workload execution.
+
+The paper's measurements run under continuous overload, and note that
+"throttling the threads, as would be done in production, would reduce
+the latencies" (Section 5.1).  The open-loop runner models production:
+operations *arrive* at a fixed offered rate (deterministic or Poisson)
+and queue for the storage engine; an operation's latency is queueing
+delay plus service time.  Sweeping the offered rate produces the
+classic latency-vs-load hockey stick, with the knee at the engine's
+closed-loop capacity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.interface import KVEngine
+from repro.ycsb.generator import OperationGenerator
+from repro.ycsb.metrics import LatencyStats
+from repro.ycsb.runner import execute
+from repro.ycsb.workload import WorkloadSpec
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop run."""
+
+    engine: str
+    offered_rate: float
+    operations: int
+    latency: LatencyStats
+    completed_in: float
+    """Virtual seconds from first arrival to last completion."""
+    backlog_seconds: float
+    """How far completion lagged the final arrival (>0 under overload)."""
+
+    @property
+    def saturated(self) -> bool:
+        """True when the engine could not keep up with the offered rate."""
+        if self.operations == 0:
+            return False
+        return self.backlog_seconds > 5.0 / self.offered_rate
+
+    @property
+    def achieved_rate(self) -> float:
+        if self.completed_in <= 0:
+            return 0.0
+        return self.operations / self.completed_in
+
+
+def run_open_loop(
+    engine: KVEngine,
+    spec: WorkloadSpec,
+    offered_rate: float,
+    seed: int = 0,
+    poisson: bool = False,
+) -> OpenLoopResult:
+    """Run a workload with arrivals at ``offered_rate`` ops/second.
+
+    Args:
+        offered_rate: arrival rate in operations per virtual second.
+        poisson: exponential inter-arrival times instead of a fixed
+            interval (deterministic arrivals model a paced load
+            generator; Poisson models independent clients).
+    """
+    if offered_rate <= 0:
+        raise ValueError(f"offered_rate must be positive, got {offered_rate}")
+    generator = OperationGenerator(spec, seed=seed)
+    rng = random.Random(seed + 7)
+    clock = engine.clock
+    stats = LatencyStats()
+    first_arrival: float | None = None
+    arrival = clock.now
+    interval = 1.0 / offered_rate
+    operations = 0
+    for op in generator.operations():
+        arrival += rng.expovariate(offered_rate) if poisson else interval
+        if first_arrival is None:
+            first_arrival = arrival
+        if clock.now < arrival:
+            clock.advance(arrival - clock.now)  # the device sits idle
+        execute(engine, op)
+        stats.record(clock.now - arrival)
+        operations += 1
+    completed_in = clock.now - (first_arrival or clock.now)
+    backlog = max(0.0, clock.now - arrival)
+    return OpenLoopResult(
+        engine=engine.name,
+        offered_rate=offered_rate,
+        operations=operations,
+        latency=stats,
+        completed_in=completed_in,
+        backlog_seconds=backlog,
+    )

@@ -1,0 +1,205 @@
+"""Closed-loop workload execution against any engine.
+
+The paper drives every system with unthrottled YCSB worker threads so
+the storage device is continuously saturated (Section 5.1: "running the
+systems under continuous overload reliably reproduces throughput
+collapses").  On the virtual clock the equivalent is a closed loop: each
+operation's latency is the clock advance it caused (device time, merge
+work and backpressure included), and throughput is operations over
+elapsed virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines.interface import KVEngine
+from repro.ycsb.generator import Operation, OperationGenerator, OpKind
+from repro.ycsb.metrics import LatencyStats, Timeseries
+from repro.ycsb.workload import WorkloadSpec
+
+
+@dataclass
+class RunResult:
+    """Everything one measured phase produced."""
+
+    engine: str
+    operations: int
+    elapsed_seconds: float
+    latencies: dict[OpKind, LatencyStats]
+    timeseries: Timeseries | None
+    io: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per virtual second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.operations / self.elapsed_seconds
+
+    def all_latencies(self) -> LatencyStats:
+        """Latency stats pooled across operation kinds."""
+        pooled = LatencyStats()
+        for stats in self.latencies.values():
+            pooled._samples.extend(stats._samples)
+            pooled._sorted = False
+        return pooled
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "operations": self.operations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput": self.throughput,
+            "latency": self.all_latencies().summary(),
+        }
+
+
+def execute(engine: KVEngine, op: Operation) -> None:
+    """Run one generated operation against an engine."""
+    if op.kind is OpKind.READ:
+        engine.get(op.key)
+    elif op.kind is OpKind.BLIND_WRITE:
+        assert op.value is not None
+        engine.put(op.key, op.value)
+    elif op.kind in (OpKind.UPDATE, OpKind.RMW):
+        assert op.value is not None
+        new_value = op.value
+        engine.read_modify_write(op.key, lambda _old: new_value)
+    elif op.kind is OpKind.INSERT:
+        assert op.value is not None
+        engine.put(op.key, op.value)
+    elif op.kind is OpKind.SCAN:
+        consumed = 0
+        for _ in engine.scan(op.key, limit=op.scan_length):
+            consumed += 1
+    elif op.kind is OpKind.DELETE:
+        engine.delete(op.key)
+    else:  # pragma: no cover - exhaustive
+        raise ValueError(f"unknown operation kind {op.kind!r}")
+
+
+def load_phase(
+    engine: KVEngine,
+    spec: WorkloadSpec,
+    seed: int = 0,
+    timeseries_window: float | None = None,
+    use_bulk_load: bool = False,
+) -> RunResult:
+    """Insert ``spec.record_count`` keys (Section 5.2's load).
+
+    Args:
+        use_bulk_load: use the engine's sorted bulk-load path if it has
+            one (InnoDB's pre-sorted load); requires
+            ``spec.ordered_inserts``.
+        timeseries_window: when set, collect windowed throughput for
+            Figure 7 style plots.
+    """
+    generator = OperationGenerator(spec, seed=seed)
+    stats = LatencyStats()
+    series = (
+        Timeseries(timeseries_window) if timeseries_window is not None else None
+    )
+    start = engine.clock.now
+    io_before = engine.io_summary()
+    if use_bulk_load:
+        bulk = getattr(engine, "bulk_load", None)
+        if bulk is None:
+            raise ValueError(f"{engine.name} has no bulk-load path")
+        value = bytes(spec.value_bytes)
+        before = engine.clock.now
+        count = bulk((key, value) for key in sorted(generator.load_keys()))
+        stats.record((engine.clock.now - before) / max(1, count))
+    else:
+        import random as _random
+
+        value_rng = _random.Random(seed + 1)
+        for key in generator.load_keys():
+            value = bytes([value_rng.randrange(256)]) * spec.value_bytes
+            before = engine.clock.now
+            if spec.check_exists_on_insert:
+                engine.insert_if_not_exists(key, value)
+            else:
+                engine.put(key, value)
+            latency = engine.clock.now - before
+            stats.record(latency)
+            if series is not None:
+                series.record(before - start, latency)
+    elapsed = engine.clock.now - start
+    return RunResult(
+        engine=engine.name,
+        operations=spec.record_count,
+        elapsed_seconds=elapsed,
+        latencies={OpKind.INSERT: stats},
+        timeseries=series,
+        io=_io_delta(io_before, engine.io_summary()),
+    )
+
+
+def run_workload(
+    engine: KVEngine,
+    spec: WorkloadSpec,
+    seed: int = 0,
+    timeseries_window: float | None = None,
+    concurrency: int = 1,
+) -> RunResult:
+    """Run the measured phase of a workload (no load).
+
+    Args:
+        concurrency: number of closed-loop workers.  The device is a
+            serial resource, so extra workers do not add throughput —
+            they add *queueing*: each worker issues its next operation
+            the moment its previous one completes, and with ``N``
+            workers an operation waits behind up to ``N - 1`` others.
+            The paper runs 128 unthrottled YCSB threads and reports
+            latencies "in the 100's of milliseconds across all three
+            systems" (Section 5.1); this reproduces that regime.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    generator = OperationGenerator(spec, seed=seed)
+    latencies: dict[OpKind, LatencyStats] = {}
+    series = (
+        Timeseries(timeseries_window) if timeseries_window is not None else None
+    )
+    start = engine.clock.now
+    io_before = engine.io_summary()
+    operations = 0
+    # Completion times of the last `concurrency` operations: with N
+    # closed-loop workers, operation i was issued when operation i-N
+    # completed, so its latency spans that gap plus its own service.
+    completions: list[float] = []
+    for op in generator.operations():
+        issued = (
+            completions[-concurrency]
+            if len(completions) >= concurrency
+            else start
+        )
+        execute(engine, op)
+        now = engine.clock.now
+        completions.append(now)
+        latency = now - issued
+        latencies.setdefault(op.kind, LatencyStats()).record(latency)
+        if series is not None:
+            series.record(issued - start, latency)
+        operations += 1
+    elapsed = engine.clock.now - start
+    return RunResult(
+        engine=engine.name,
+        operations=operations,
+        elapsed_seconds=elapsed,
+        latencies=latencies,
+        timeseries=series,
+        io=_io_delta(io_before, engine.io_summary()),
+    )
+
+
+def _io_delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    delta: dict[str, Any] = {}
+    for key, value in after.items():
+        if isinstance(value, (int, float)) and key in before:
+            delta[key] = value - before[key]
+        else:
+            delta[key] = value
+    return delta

@@ -1,0 +1,155 @@
+"""Workload specifications (YCSB core workloads and custom mixes).
+
+A :class:`WorkloadSpec` captures everything the paper's Section 5 varies:
+the operation mix (read / update / blind-write / insert / scan /
+read-modify-write), the request distribution, record sizing (the paper
+uses 1000-byte values, Section 5.1), and scan lengths (1-4 for short
+scans, 1-100 for long scans, Section 5.6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+#: The paper's record sizing: 1000-byte values, keys of tens of bytes.
+DEFAULT_VALUE_BYTES = 1000
+
+
+@dataclass
+class WorkloadSpec:
+    """One benchmark workload."""
+
+    record_count: int
+    """Keys loaded before the measured phase."""
+
+    operation_count: int
+    """Operations in the measured phase."""
+
+    read_proportion: float = 0.0
+    update_proportion: float = 0.0
+    """Read-modify-write updates (read the record, write it back)."""
+
+    blind_write_proportion: float = 0.0
+    """Blind overwrites: no read first (the LSM-friendly primitive)."""
+
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    rmw_proportion: float = 0.0
+    """YCSB workload F style read-modify-write counted as one op."""
+
+    delete_proportion: float = 0.0
+
+    request_distribution: str = "uniform"
+    """``uniform``, ``zipfian`` (scrambled), ``zipfian_clustered``
+    or ``latest``."""
+
+    value_bytes: int = DEFAULT_VALUE_BYTES
+    scan_length_min: int = 1
+    scan_length_max: int = 4
+    ordered_inserts: bool = False
+    """``True`` loads keys in key order (InnoDB's pre-sorted load)."""
+
+    check_exists_on_insert: bool = False
+    """Use ``insert_if_not_exists`` for inserts (Section 5.2 semantics)."""
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_proportion
+            + self.update_proportion
+            + self.blind_write_proportion
+            + self.insert_proportion
+            + self.scan_proportion
+            + self.rmw_proportion
+            + self.delete_proportion
+        )
+        if self.operation_count > 0 and not math.isclose(
+            total, 1.0, abs_tol=1e-9
+        ):
+            raise WorkloadError(f"operation proportions sum to {total}, not 1")
+        if self.record_count < 0 or self.operation_count < 0:
+            raise WorkloadError("record_count and operation_count must be >= 0")
+        if not 1 <= self.scan_length_min <= self.scan_length_max:
+            raise WorkloadError(
+                "require 1 <= scan_length_min <= scan_length_max"
+            )
+        if self.value_bytes <= 0:
+            raise WorkloadError("value_bytes must be positive")
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of operations that mutate data."""
+        return (
+            self.update_proportion
+            + self.blind_write_proportion
+            + self.insert_proportion
+            + self.rmw_proportion
+            + self.delete_proportion
+        )
+
+
+_STANDARD: dict[str, dict[str, float | str | int]] = {
+    # YCSB core workloads, per Cooper et al. [11].
+    "a": {"read_proportion": 0.5, "update_proportion": 0.5,
+          "request_distribution": "zipfian"},
+    "b": {"read_proportion": 0.95, "update_proportion": 0.05,
+          "request_distribution": "zipfian"},
+    "c": {"read_proportion": 1.0, "request_distribution": "zipfian"},
+    "d": {"read_proportion": 0.95, "insert_proportion": 0.05,
+          "request_distribution": "latest"},
+    "e": {"scan_proportion": 0.95, "insert_proportion": 0.05,
+          "request_distribution": "zipfian", "scan_length_max": 100},
+    "f": {"read_proportion": 0.5, "rmw_proportion": 0.5,
+          "request_distribution": "zipfian"},
+}
+
+
+def standard_workload(
+    name: str,
+    record_count: int,
+    operation_count: int,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+) -> WorkloadSpec:
+    """One of the YCSB core workloads A-F."""
+    try:
+        overrides = dict(_STANDARD[name.lower()])
+    except KeyError:
+        raise WorkloadError(f"unknown standard workload {name!r}") from None
+    return WorkloadSpec(
+        record_count=record_count,
+        operation_count=operation_count,
+        value_bytes=value_bytes,
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def write_ratio_workload(
+    write_fraction: float,
+    record_count: int,
+    operation_count: int,
+    blind: bool,
+    value_bytes: int = DEFAULT_VALUE_BYTES,
+) -> WorkloadSpec:
+    """The Figure 8 sweep: reads vs writes at a given write fraction.
+
+    Args:
+        write_fraction: fraction of operations that write.
+        blind: ``True`` for blind overwrites, ``False`` for
+            read-modify-write (the paper plots both families).
+    """
+    if not 0.0 <= write_fraction <= 1.0:
+        raise WorkloadError(f"write_fraction must be in [0,1], got {write_fraction}")
+    writes = write_fraction
+    spec = {
+        "blind_write_proportion" if blind else "update_proportion": writes,
+        "read_proportion": 1.0 - writes,
+    }
+    return WorkloadSpec(
+        record_count=record_count,
+        operation_count=operation_count,
+        request_distribution="uniform",
+        value_bytes=value_bytes,
+        **spec,  # type: ignore[arg-type]
+    )

@@ -1,0 +1,97 @@
+"""Tests for the analytical models (Figure 2, Table 2, read fanout)."""
+
+import pytest
+
+from repro.analysis import (
+    DeviceSpec,
+    STANDARD_DEVICES,
+    bloom_read_amplification,
+    cache_gb_table,
+    cascade_bandwidth_amplification,
+    cascade_read_amplification,
+    figure2_series,
+    read_fanout,
+)
+from repro.analysis.five_minute import full_disk_cache_gb, interval_cache_gb
+
+
+class TestFigure2:
+    def test_bloom_amplification_is_flat_and_near_one(self):
+        # Section 3.1: "Bloom filters' maximum amplification is 1.03".
+        values = [bloom_read_amplification(x) for x in (2, 4, 8, 16)]
+        assert all(v == pytest.approx(1.02) for v in values)
+
+    def test_bloom_amplification_zero_when_data_fits_ram(self):
+        assert bloom_read_amplification(0.5) == 0.0
+
+    def test_cascade_levels_grow_logarithmically(self):
+        assert cascade_read_amplification(2, 16) == 4
+        assert cascade_read_amplification(4, 16) == 2
+        assert cascade_read_amplification(10, 16) == 2
+        assert cascade_read_amplification(2, 2) == 1
+
+    def test_no_r_beats_bloom(self):
+        # The figure's point: no setting of R reaches Bloom's seek count.
+        for r in range(2, 11):
+            assert cascade_read_amplification(r, 16) > bloom_read_amplification(16)
+
+    def test_bandwidth_tradeoff(self):
+        # Larger R: fewer levels but more bandwidth per level.
+        small_r = cascade_bandwidth_amplification(2, 16)
+        large_r = cascade_bandwidth_amplification(10, 16)
+        assert large_r > small_r / 2  # both are well above bloom's ~1
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            cascade_read_amplification(1.0, 4)
+
+    def test_series_shape(self):
+        series = figure2_series(max_ratio=4, points_per_unit=1)
+        assert "bloom" in series and "R=2" in series
+        assert len(series["bloom"]) == 5
+        ratio, seeks, bandwidth = series["R=2"][-1]
+        assert ratio == 4.0 and seeks == 2.0
+
+
+class TestReadFanout:
+    def test_typical_scenario_is_about_forty(self):
+        # Appendix A: 100-byte keys, 4KB pages -> read fanout ~40.
+        assert read_fanout(4096, 100, 1000) == pytest.approx(38, rel=0.05)
+
+    def test_large_records_dominate_page_size(self):
+        assert read_fanout(4096, 100, 100_000) > 500
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            read_fanout(0, 100, 1000)
+
+
+class TestTable2:
+    def test_matches_paper_cells(self):
+        # Spot-check the published Table 2 values.
+        ssd = STANDARD_DEVICES[0]
+        assert interval_cache_gb(ssd, 60) == pytest.approx(0.30, abs=0.01)
+        assert interval_cache_gb(ssd, 300) == pytest.approx(1.5, abs=0.02)
+        assert full_disk_cache_gb(ssd) == pytest.approx(12.5, abs=0.1)
+        pcie = STANDARD_DEVICES[1]
+        assert interval_cache_gb(pcie, 60) == pytest.approx(6.0, abs=0.1)
+        assert full_disk_cache_gb(pcie) == pytest.approx(122, abs=1)
+        media = STANDARD_DEVICES[3]
+        assert interval_cache_gb(media, 604800) == pytest.approx(15.12, abs=0.1)
+        assert full_disk_cache_gb(media) == pytest.approx(48.8, abs=0.1)
+
+    def test_dash_cells_are_none(self):
+        # Devices become capacity-bound at low access frequencies.
+        ssd = STANDARD_DEVICES[0]
+        assert interval_cache_gb(ssd, 3600) is None  # paper prints '-'
+
+    def test_table_shape(self):
+        rows = cache_gb_table()
+        assert len(rows) == 8  # 7 intervals + full disk
+        assert all(len(cells) == 4 for _, cells in rows)
+        assert rows[-1][0] == "Full disk"
+
+    def test_custom_device(self):
+        tiny = DeviceSpec("tiny", capacity_gb=1, reads_per_sec=10)
+        rows = cache_gb_table([tiny])
+        assert rows[0][1][0] is not None

@@ -1,0 +1,47 @@
+"""Tests for ASCII series rendering."""
+
+from repro.ycsb.ascii_plot import render_timeseries, sparkline
+
+
+def test_empty_series():
+    assert sparkline([]) == ""
+    assert render_timeseries("x", []) == ["x: (empty)"]
+
+
+def test_flat_zero_series():
+    assert sparkline([0.0, 0.0, 0.0]) == "   "
+
+
+def test_monotone_series_renders_ramp():
+    line = sparkline([0, 1, 2, 3, 4])
+    assert line[0] <= line[-1]
+    assert line[-1] == "█"
+
+
+def test_negative_values_clamped():
+    line = sparkline([-5.0, 10.0])
+    assert line[0] == " "
+    assert line[1] == "█"
+
+
+def test_downsampling_to_width():
+    line = sparkline(list(range(1000)), width=40)
+    assert len(line) == 40
+    assert line[-1] == "█"
+
+
+def test_no_downsampling_when_short():
+    assert len(sparkline([1, 2, 3], width=40)) == 3
+
+
+def test_render_timeseries_includes_scale():
+    lines = render_timeseries("tput", [100.0, 200.0])
+    assert "max=200" in lines[0]
+    assert "min=100" in lines[0]
+    assert len(lines) == 2
+
+
+def test_pause_is_visible_as_gap():
+    line = sparkline([100, 100, 0, 0, 100, 100])
+    assert " " in line  # the outage shows as blank columns
+    assert line.count("█") >= 4

@@ -1,0 +1,137 @@
+"""Tests for persisted Bloom filters (Section 4.4.3)."""
+
+import random
+
+import pytest
+
+from repro.bloom import BloomFilter
+from repro.core import BLSM, BLSMOptions, PartitionedBLSM
+from repro.storage import DurabilityMode
+
+
+def options(**overrides):
+    defaults = dict(
+        c0_bytes=32 * 1024,
+        buffer_pool_pages=64,
+        durability=DurabilityMode.SYNC,
+        persist_bloom_filters=True,
+    )
+    defaults.update(overrides)
+    return BLSMOptions(**defaults)
+
+
+def test_bloom_roundtrip_bytes():
+    bloom = BloomFilter.for_capacity(500)
+    for i in range(500):
+        bloom.add(b"key%d" % i)
+    clone = BloomFilter.from_bytes(
+        bloom.nbits, bloom.nhashes, bloom.to_bytes(), bloom.ninserted
+    )
+    assert all(b"key%d" % i in clone for i in range(500))
+    assert clone.ninserted == 500
+
+
+def test_bloom_from_bytes_validates_length():
+    with pytest.raises(ValueError):
+        BloomFilter.from_bytes(64, 3, b"too-short-or-long" * 10)
+
+
+def test_components_get_bloom_extents():
+    tree = BLSM(options())
+    for i in range(2000):
+        tree.put(b"key%05d" % i, bytes(32))
+    tree.drain()
+    components = [
+        c for c in (tree._c1, tree._c1_prime, tree._c2) if c is not None
+    ]
+    assert components
+    assert all(c.bloom_extent is not None for c in components)
+
+
+def test_recovery_loads_persisted_filters_without_scan():
+    opts = options()
+    tree = BLSM(opts)
+    for i in range(3000):
+        tree.put(b"key%05d" % (i % 1500), bytes(64))
+    tree.drain()
+    component_bytes = tree.component_sizes()["c1"] + tree.component_sizes()["c2"]
+    stasis = tree.stasis
+    stasis.crash()
+    read_before = stasis.data_disk.stats.bytes_read
+    recovered = BLSM.recover(stasis, opts)
+    recovery_read = stasis.data_disk.stats.bytes_read - read_before
+    # Loading filters reads far less than rescanning the components.
+    assert recovery_read < component_bytes / 4
+    assert recovered._c1 is None or recovered._c1.bloom is not None
+
+
+def test_recovered_filters_behave_identically():
+    opts = options()
+    tree = BLSM(opts)
+    rng = random.Random(3)
+    keys = [b"key%06d" % rng.randrange(10**6) for _ in range(2000)]
+    for key in keys:
+        tree.put(key, bytes(32))
+    tree.drain()
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    for key in rng.sample(keys, 200):
+        assert recovered.get(key) is not None
+    seeks_before = stasis.data_disk.stats.seeks
+    for i in range(100):
+        recovered.get(b"key%06dabsent" % i)
+    # Filters loaded from disk still reject absent keys for free.
+    assert stasis.data_disk.stats.seeks - seeks_before <= 5
+
+
+def test_free_releases_bloom_extent():
+    opts = options()
+    tree = BLSM(opts)
+    for i in range(2000):
+        tree.put(b"key%05d" % i, bytes(32))
+    tree.drain()
+    # Every allocated extent must be reachable from the manifest; after
+    # compaction the old components' bloom extents must be freed too.
+    tree.compact()
+    from repro.core.components import component_extents, describe_component
+
+    live = set()
+    for component in (tree._c1, tree._c1_prime, tree._c2):
+        live.update(component_extents(describe_component(component)))
+    assert set(tree.stasis.regions.allocated_extents) == live
+
+
+def test_partitioned_tree_persists_and_recovers_filters():
+    opts = options()
+    tree = PartitionedBLSM(opts, max_partition_bytes=64 * 1024)
+    model = {}
+    for i in range(4000):
+        key = b"key%05d" % (i % 2000)
+        value = b"v%d" % i
+        tree.put(key, value)
+        model[key] = value
+    tree.drain()
+    stasis = tree.stasis
+    stasis.crash()
+    read_before = stasis.data_disk.stats.bytes_read
+    recovered = PartitionedBLSM.recover(
+        stasis, opts, max_partition_bytes=64 * 1024
+    )
+    recovery_read = stasis.data_disk.stats.bytes_read - read_before
+    disk_bytes = recovered.stats()["disk_bytes"]
+    assert recovery_read < max(1, disk_bytes) / 4
+    assert all(recovered.get(k) == v for k, v in model.items())
+
+
+def test_unpersisted_recovery_still_works():
+    opts = options(persist_bloom_filters=False)
+    tree = BLSM(opts)
+    for i in range(1500):
+        tree.put(b"key%05d" % i, bytes(64))
+    tree.drain()
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered.get(b"key00042") is not None
+    assert recovered._c1 is None or recovered._c1.bloom is not None

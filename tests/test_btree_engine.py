@@ -1,0 +1,214 @@
+"""Behavioural tests for the update-in-place B-Tree engine."""
+
+import random
+
+import pytest
+
+from repro.baselines import BTreeEngine
+from repro.errors import EngineClosedError
+
+
+def small_engine(**overrides):
+    defaults = dict(buffer_pool_pages=8, page_size=4096)
+    defaults.update(overrides)
+    return BTreeEngine(**defaults)
+
+
+def test_put_get_roundtrip():
+    engine = small_engine()
+    engine.put(b"k", b"v")
+    assert engine.get(b"k") == b"v"
+    assert engine.get(b"missing") is None
+
+
+def test_overwrite():
+    engine = small_engine()
+    engine.put(b"k", b"v1")
+    engine.put(b"k", b"v2")
+    assert engine.get(b"k") == b"v2"
+
+
+def test_delete():
+    engine = small_engine()
+    engine.put(b"k", b"v")
+    engine.delete(b"k")
+    assert engine.get(b"k") is None
+    engine.delete(b"never-there")  # no-op
+
+
+def test_splits_preserve_all_records():
+    engine = small_engine(buffer_pool_pages=128)
+    model = {}
+    rng = random.Random(2)
+    for i in range(3000):
+        key = b"key%05d" % rng.randrange(2000)
+        value = b"v%05d" % i
+        engine.put(key, value)
+        model[key] = value
+    assert engine.leaf_count > 10
+    assert all(engine.get(k) == v for k, v in model.items())
+
+
+def test_scan_sorted_and_bounded():
+    engine = small_engine(buffer_pool_pages=128)
+    for i in range(500):
+        engine.put(b"key%04d" % i, b"v")
+    got = [k for k, _ in engine.scan(b"key0100", b"key0110")]
+    assert got == [b"key%04d" % i for i in range(100, 110)]
+    got = [k for k, _ in engine.scan(b"key0490", limit=5)]
+    assert len(got) == 5
+
+
+def test_update_is_two_seeks_uncached():
+    # Section 2.2: read the old page, write the modification back.
+    engine = small_engine(buffer_pool_pages=2)
+    for i in range(400):
+        engine.put(b"key%04d" % i, bytes(200))
+    engine.flush()
+    stats = engine.stasis.data_disk.stats
+    rng = random.Random(1)
+    n = 100
+    seeks_before = stats.seeks
+    for _ in range(n):
+        engine.put(b"key%04d" % rng.randrange(400), bytes(200))
+    engine.flush()
+    seeks_per_update = (stats.seeks - seeks_before) / n
+    assert 1.3 < seeks_per_update <= 2.5
+
+
+def test_read_is_one_seek_uncached():
+    engine = small_engine(buffer_pool_pages=2)
+    for i in range(400):
+        engine.put(b"key%04d" % i, bytes(200))
+    engine.flush()
+    stats = engine.stasis.data_disk.stats
+    rng = random.Random(1)
+    seeks_before = stats.seeks
+    for _ in range(100):
+        engine.get(b"key%04d" % rng.randrange(400))
+    assert (stats.seeks - seeks_before) / 100 <= 1.1
+
+
+def test_insert_if_not_exists_must_seek():
+    # Unlike bLSM, the B-Tree reads a leaf even for absent keys (§5.2).
+    engine = small_engine(buffer_pool_pages=2)
+    for i in range(400):
+        engine.put(b"key%04d" % i, bytes(200))
+    engine.flush()
+    stats = engine.stasis.data_disk.stats
+    seeks_before = stats.seeks
+    assert engine.insert_if_not_exists(b"key0100x", b"v")
+    assert stats.seeks > seeks_before
+
+
+def test_apply_delta_reads_then_writes():
+    engine = small_engine()
+    engine.put(b"k", b"base")
+    engine.apply_delta(b"k", b"+d")
+    assert engine.get(b"k") == b"base+d"
+    engine.apply_delta(b"new", b"+x")  # materializes a base record
+    assert engine.get(b"new") == b"+x"
+
+
+def test_bulk_load_requires_sorted_unique():
+    engine = small_engine()
+    with pytest.raises(ValueError):
+        engine.bulk_load(iter([(b"b", b"1"), (b"a", b"2")]))
+    engine2 = small_engine()
+    with pytest.raises(ValueError):
+        engine2.bulk_load(iter([(b"a", b"1"), (b"a", b"2")]))
+
+
+def test_bulk_load_roundtrip_and_contiguity():
+    engine = small_engine(buffer_pool_pages=128)
+    items = [(b"key%05d" % i, bytes(200)) for i in range(2000)]
+    assert engine.bulk_load(iter(items)) == 2000
+    assert engine.get(b"key01000") == bytes(200)
+    assert engine.fragmentation() == 0.0  # perfectly sequential leaves
+
+
+def test_bulk_load_rejected_on_nonempty_tree():
+    engine = small_engine()
+    engine.put(b"k", b"v")
+    with pytest.raises(ValueError):
+        engine.bulk_load(iter([(b"a", b"1")]))
+
+
+def test_random_inserts_fragment_the_tree():
+    engine = small_engine(buffer_pool_pages=256)
+    rng = random.Random(3)
+    for i in range(4000):
+        engine.put(b"key%09d" % rng.randrange(10**9), bytes(100))
+    assert engine.fragmentation() > 0.5  # Section 5.6's premise
+
+
+def test_fragmented_scan_seeks_more_than_contiguous():
+    loaded = small_engine(buffer_pool_pages=4)
+    loaded.bulk_load(
+        iter((b"key%05d" % i, bytes(200)) for i in range(2000))
+    )
+    fragmented = small_engine(buffer_pool_pages=4)
+    rng = random.Random(3)
+    keys = sorted({b"key%05d" % rng.randrange(100000) for _ in range(2000)})
+    for key in rng.sample(keys, len(keys)):
+        fragmented.put(key, bytes(200))
+    fragmented.flush()
+
+    def scan_seeks(engine):
+        before = engine.stasis.data_disk.stats.seeks
+        list(engine.scan(b"key", limit=1000))
+        return engine.stasis.data_disk.stats.seeks - before
+
+    assert scan_seeks(fragmented) > 2 * scan_seeks(loaded)
+
+
+def test_prefetch_faults_in_following_pages():
+    engine = small_engine(buffer_pool_pages=64, prefetch_leaves=4)
+    engine.bulk_load(
+        iter((b"key%04d" % i, bytes(200)) for i in range(300))
+    )
+    engine.stasis.buffer.drop_all()
+    engine.get(b"key0000")  # miss: faults the leaf plus 4 followers
+    resident = len(engine.stasis.buffer)
+    assert resident >= 5
+
+
+def test_prefetch_costs_bandwidth_on_random_reads():
+    import random
+
+    costs = {}
+    for prefetch in (0, 8):
+        engine = small_engine(buffer_pool_pages=2, prefetch_leaves=prefetch)
+        engine.bulk_load(
+            iter((b"key%04d" % i, bytes(200)) for i in range(400))
+        )
+        rng = random.Random(5)
+        read_before = engine.stasis.data_disk.stats.bytes_read
+        for _ in range(100):
+            engine.get(b"key%04d" % rng.randrange(400))
+        costs[prefetch] = (
+            engine.stasis.data_disk.stats.bytes_read - read_before
+        )
+    assert costs[8] > 3 * costs[0]
+
+
+def test_prefetch_zero_is_default_and_noop():
+    engine = small_engine()
+    assert engine.prefetch_leaves == 0
+    engine.put(b"k", b"v")
+    assert engine.get(b"k") == b"v"
+
+
+def test_closed_engine_rejects_operations():
+    engine = small_engine()
+    engine.close()
+    with pytest.raises(EngineClosedError):
+        engine.put(b"k", b"v")
+    engine.close()  # idempotent
+
+
+def test_io_summary_and_seeks():
+    engine = small_engine()
+    engine.put(b"k", b"v")
+    assert "data_seeks" in engine.io_summary()
+    assert engine.seeks() >= 0

@@ -1,0 +1,152 @@
+"""Unit tests for the buffer manager (CLOCK and LRU eviction)."""
+
+import pytest
+
+from repro.sim import DiskModel, SimDisk, VirtualClock
+from repro.storage import BufferManager, EvictionPolicy, PageFile
+
+
+def make_buffer(capacity=4, policy=EvictionPolicy.CLOCK):
+    clock = VirtualClock()
+    disk = SimDisk(DiskModel.hdd(), clock)
+    pagefile = PageFile(disk, page_size=4096)
+    return BufferManager(pagefile, capacity, policy), pagefile
+
+
+def test_miss_reads_from_device():
+    buffer, pagefile = make_buffer()
+    pagefile.write_page(0, "a")
+    assert buffer.get(0) == "a"
+    assert buffer.misses == 1
+
+
+def test_hit_is_free():
+    buffer, pagefile = make_buffer()
+    pagefile.write_page(0, "a")
+    buffer.get(0)
+    busy = pagefile.disk.stats.busy_seconds
+    assert buffer.get(0) == "a"
+    assert buffer.hits == 1
+    assert pagefile.disk.stats.busy_seconds == busy
+
+
+def test_capacity_is_enforced():
+    buffer, pagefile = make_buffer(capacity=2)
+    for i in range(5):
+        pagefile.write_page(i, f"p{i}")
+        buffer.get(i)
+    assert len(buffer) <= 2
+    assert buffer.evictions == 3
+
+
+def test_dirty_eviction_writes_back():
+    buffer, pagefile = make_buffer(capacity=1)
+    buffer.put(0, "dirty")
+    pagefile.write_page(1, "other")
+    buffer.get(1)  # evicts page 0
+    assert buffer.dirty_writebacks == 1
+    assert pagefile.peek(0) == "dirty"
+
+
+def test_clean_eviction_skips_writeback():
+    buffer, pagefile = make_buffer(capacity=1)
+    pagefile.write_page(0, "a")
+    pagefile.write_page(1, "b")
+    buffer.get(0)
+    buffer.get(1)
+    assert buffer.dirty_writebacks == 0
+
+
+def test_put_overwrites_resident_payload():
+    buffer, pagefile = make_buffer()
+    buffer.put(0, "v1")
+    buffer.put(0, "v2")
+    assert buffer.get(0) == "v2"
+    assert len(buffer) == 1
+
+
+def test_flush_page_clears_dirty_bit():
+    buffer, pagefile = make_buffer()
+    buffer.put(0, "dirty")
+    buffer.flush_page(0)
+    assert pagefile.peek(0) == "dirty"
+    buffer.flush_page(0)  # second flush is a no-op
+    assert buffer.dirty_writebacks == 1
+
+
+def test_flush_all_writes_in_page_order():
+    buffer, pagefile = make_buffer(capacity=8)
+    for page_id in (5, 1, 3):
+        buffer.put(page_id, f"p{page_id}")
+    written = buffer.flush_all()
+    assert written == 3
+    assert pagefile.peek(1) == "p1"
+    assert pagefile.peek(5) == "p5"
+
+
+def test_clock_second_chance():
+    buffer, pagefile = make_buffer(capacity=3, policy=EvictionPolicy.CLOCK)
+    for i in range(3):
+        pagefile.write_page(i, f"p{i}")
+        buffer.get(i)
+    pagefile.write_page(3, "p3")
+    buffer.get(3)  # sweep clears all bits, evicts page 0
+    assert 0 not in buffer
+    buffer.get(1)  # second chance: re-set page 1's reference bit
+    pagefile.write_page(4, "p4")
+    buffer.get(4)  # victim must be an unreferenced frame, not page 1
+    assert 1 in buffer
+
+
+def test_lru_evicts_least_recent():
+    buffer, pagefile = make_buffer(capacity=2, policy=EvictionPolicy.LRU)
+    pagefile.write_page(0, "p0")
+    pagefile.write_page(1, "p1")
+    pagefile.write_page(2, "p2")
+    buffer.get(0)
+    buffer.get(1)
+    buffer.get(0)  # 0 is now most recent
+    buffer.get(2)  # evicts 1
+    assert 0 in buffer
+    assert 1 not in buffer
+
+
+def test_invalidate_drops_without_writeback():
+    buffer, pagefile = make_buffer()
+    buffer.put(0, "dirty")
+    buffer.invalidate(0)
+    assert 0 not in buffer
+    assert 0 not in pagefile
+    assert buffer.dirty_writebacks == 0
+
+
+def test_drop_all_simulates_crash():
+    buffer, pagefile = make_buffer()
+    buffer.put(0, "lost")
+    buffer.drop_all()
+    assert len(buffer) == 0
+    assert 0 not in pagefile
+
+
+def test_hit_rate():
+    buffer, pagefile = make_buffer()
+    pagefile.write_page(0, "a")
+    buffer.get(0)
+    buffer.get(0)
+    buffer.get(0)
+    assert buffer.hit_rate == pytest.approx(2 / 3)
+
+
+def test_invalid_capacity_rejected():
+    clock = VirtualClock()
+    pagefile = PageFile(SimDisk(DiskModel.hdd(), clock))
+    with pytest.raises(ValueError):
+        BufferManager(pagefile, 0)
+
+
+def test_flush_nonresident_page_raises():
+    buffer, _ = make_buffer()
+    from repro.errors import StorageError
+
+    with pytest.raises(StorageError):
+        buffer.flush_page(99)

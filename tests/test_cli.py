@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_workload_standard_mix(capsys):
+    code, out = run_cli(
+        capsys,
+        "workload", "--engine", "blsm", "--workload", "a",
+        "--records", "300", "--ops", "300", "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "engine=bLSM" in out
+    assert "load :" in out
+    assert "run  :" in out
+    assert "io   :" in out
+
+
+@pytest.mark.parametrize("engine", ["blsm", "blsm-part", "btree", "leveldb"])
+def test_workload_all_engines(capsys, engine):
+    code, out = run_cli(
+        capsys,
+        "workload", "--engine", engine,
+        "--records", "200", "--ops", "150",
+        "--read", "0.5", "--blind-write", "0.5",
+        "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "ops/s" in out
+
+
+def test_workload_custom_proportions_normalized(capsys):
+    code, out = run_cli(
+        capsys,
+        "workload", "--records", "100", "--ops", "100",
+        "--read", "3", "--scan", "1", "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "read" in out
+    assert "scan" in out
+
+
+def test_workload_defaults_to_mixed(capsys):
+    # No proportions at all: the CLI falls back to a 50/50 mix.
+    code, out = run_cli(
+        capsys, "workload", "--records", "100", "--ops", "60",
+        "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "blind_write" in out
+
+
+def test_workload_ssd(capsys):
+    code, out = run_cli(
+        capsys,
+        "workload", "--disk", "ssd", "--records", "100", "--ops", "50",
+        "--read", "1.0", "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "disk=ssd" in out
+
+
+def test_load_only(capsys):
+    code, out = run_cli(
+        capsys, "workload", "--records", "100", "--ops", "0",
+        "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "run  :" not in out
+
+
+def test_compare_runs_all_engines(capsys):
+    code, out = run_cli(
+        capsys,
+        "compare", "--records", "200", "--ops", "100",
+        "--read", "0.5", "--blind-write", "0.5", "--value-bytes", "100",
+        "--c0-bytes", "8192", "--cache-pages", "8",
+    )
+    assert code == 0
+    for name in ("bLSM", "bLSM-part", "InnoDB", "LevelDB"):
+        assert name in out
+
+
+def test_compare_load_only(capsys):
+    code, out = run_cli(
+        capsys, "compare", "--records", "150", "--ops", "0",
+        "--value-bytes", "100", "--c0-bytes", "8192",
+    )
+    assert code == 0
+    assert "InnoDB" in out
+
+
+def test_amplification_table(capsys):
+    code, out = run_cli(capsys, "amplification", "--max-ratio", "4")
+    assert code == 0
+    assert "bloom" in out
+    assert "R=10" in out
+
+
+def test_cache_table(capsys):
+    code, out = run_cli(capsys, "cache-table")
+    assert code == 0
+    assert "Full disk" in out
+    assert "SATA SSD" in out
+    assert "-" in out  # the capacity-bound dashes
+
+
+def test_record_and_replay(capsys, tmp_path):
+    trace = str(tmp_path / "w.trace")
+    code, out = run_cli(
+        capsys,
+        "record", "--records", "100", "--ops", "200",
+        "--read", "0.5", "--blind-write", "0.5",
+        "--value-bytes", "100", "--output", trace,
+    )
+    assert code == 0
+    assert "recorded 200 operations" in out
+    code, out = run_cli(
+        capsys,
+        "replay", "--trace", trace, "--engine", "blsm",
+        "--c0-bytes", "8192",
+    )
+    assert code == 0
+    assert "replayed 200 ops" in out
+
+
+def test_selfcheck_passes(capsys):
+    code, out = run_cli(capsys, "selfcheck", "--operations", "800")
+    assert code == 0
+    assert "selfcheck: PASS" in out
+    for name in ("bLSM", "InnoDB", "LevelDB", "recovery"):
+        assert name in out
+
+
+def test_parser_rejects_unknown_engine():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["workload", "--engine", "bogus"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

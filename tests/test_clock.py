@@ -1,0 +1,39 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_advance_accumulates():
+    clock = VirtualClock()
+    clock.advance(1.5)
+    clock.advance(0.25)
+    assert clock.now == pytest.approx(1.75)
+
+
+def test_advance_returns_new_time():
+    clock = VirtualClock()
+    assert clock.advance(2.0) == pytest.approx(2.0)
+
+
+def test_advance_zero_is_allowed():
+    clock = VirtualClock()
+    clock.advance(0.0)
+    assert clock.now == 0.0
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_repr_mentions_time():
+    clock = VirtualClock()
+    clock.advance(1.0)
+    assert "1.0" in repr(clock)

@@ -1,0 +1,103 @@
+"""Tests for Rose-style compression (Section 6)."""
+
+import random
+
+import pytest
+
+from repro.core import BLSM, BLSMOptions
+from repro.records import Record
+from repro.sstable import SSTableBuilder
+from repro.storage import DurabilityMode, Stasis
+
+
+def test_builder_rejects_bad_ratio():
+    stasis = Stasis()
+    with pytest.raises(ValueError):
+        SSTableBuilder(stasis, tree_id=1, compression_ratio=0.0)
+    with pytest.raises(ValueError):
+        SSTableBuilder(stasis, tree_id=1, compression_ratio=1.5)
+
+
+def test_options_reject_bad_ratio():
+    with pytest.raises(ValueError):
+        BLSMOptions(compression_ratio=0.0)
+
+
+def test_compressed_component_uses_fewer_pages():
+    tables = {}
+    for ratio in (1.0, 0.5):
+        stasis = Stasis()
+        builder = SSTableBuilder(
+            stasis, tree_id=1, expected_keys=200, compression_ratio=ratio
+        )
+        for i in range(200):
+            builder.add(Record.base(b"key%04d" % i, b"v" * 500, i))
+        tables[ratio] = builder.finish()
+    assert tables[0.5].npages < tables[1.0].npages
+    assert tables[0.5].nbytes < tables[1.0].nbytes
+
+
+def test_compressed_values_read_back_intact():
+    stasis = Stasis()
+    builder = SSTableBuilder(
+        stasis, tree_id=1, expected_keys=100, compression_ratio=0.3
+    )
+    for i in range(100):
+        builder.add(Record.base(b"key%04d" % i, b"payload-%04d" % i, i))
+    table = builder.finish()
+    for i in range(100):
+        assert table.get(b"key%04d" % i).value == b"payload-%04d" % i
+    assert len(list(table.iter_records())) == 100
+
+
+def test_compression_reduces_merge_io():
+    written = {}
+    for ratio in (1.0, 0.5):
+        tree = BLSM(
+            BLSMOptions(
+                c0_bytes=32 * 1024,
+                buffer_pool_pages=32,
+                compression_ratio=ratio,
+            )
+        )
+        rng = random.Random(4)
+        for i in range(3000):
+            tree.put(b"key%06d" % rng.randrange(10**6), bytes(200))
+        tree.drain()
+        written[ratio] = tree.stasis.data_disk.stats.bytes_written
+    assert written[0.5] < 0.75 * written[1.0]
+
+
+def test_compressed_tree_is_model_correct():
+    tree = BLSM(
+        BLSMOptions(
+            c0_bytes=16 * 1024, buffer_pool_pages=32, compression_ratio=0.4
+        )
+    )
+    rng = random.Random(5)
+    model = {}
+    for i in range(3000):
+        key = b"key%05d" % rng.randrange(1500)
+        value = b"v%05d" % i
+        tree.put(key, value)
+        model[key] = value
+    assert all(tree.get(k) == v for k, v in model.items())
+    assert list(tree.scan(b"")) == sorted(model.items())
+
+
+def test_compressed_tree_survives_crash():
+    options = BLSMOptions(
+        c0_bytes=16 * 1024,
+        compression_ratio=0.5,
+        durability=DurabilityMode.SYNC,
+    )
+    tree = BLSM(options)
+    model = {}
+    for i in range(1500):
+        key = b"key%05d" % (i % 700)
+        tree.put(key, b"v%d" % i)
+        model[key] = b"v%d" % i
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    assert all(recovered.get(k) == v for k, v in model.items())

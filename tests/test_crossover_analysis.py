@@ -1,0 +1,72 @@
+"""Unit tests for the update-in-place/log-structured crossover model."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_object_bytes,
+    crossover_table,
+    log_structured_write_seconds,
+    update_in_place_write_seconds,
+)
+from repro.sim import DiskModel
+
+
+def test_update_in_place_cost_is_two_seeks_plus_transfer():
+    model = DiskModel.single_hdd()
+    cost = update_in_place_write_seconds(1000, model)
+    assert cost == pytest.approx(
+        2 * 5e-3 + 2 * 1000 / model.seq_write_bandwidth
+    )
+
+
+def test_log_structured_cost_is_amplified_bandwidth():
+    model = DiskModel.single_hdd()
+    cost = log_structured_write_seconds(1000, model, write_amplification=10)
+    assert cost == pytest.approx(10 * 1000 / model.seq_write_bandwidth)
+
+
+def test_section22_arithmetic():
+    # §2.2: a 1000-byte update-in-place write has amplification ~1000
+    # relative to one sequential copy on the single-HDD model.
+    model = DiskModel.single_hdd()
+    uip = update_in_place_write_seconds(1000, model)
+    one_copy = 1000 / model.seq_write_bandwidth
+    assert uip / one_copy == pytest.approx(1000, rel=0.1)
+
+
+def test_costs_cross_at_the_crossover():
+    model = DiskModel.hdd()
+    wa = 8.0
+    size = crossover_object_bytes(model, wa)
+    below = int(size / 2)
+    above = int(size * 2)
+    assert log_structured_write_seconds(
+        below, model, wa
+    ) < update_in_place_write_seconds(below, model)
+    assert log_structured_write_seconds(
+        above, model, wa
+    ) > update_in_place_write_seconds(above, model)
+
+
+def test_low_amplification_never_crosses():
+    assert crossover_object_bytes(DiskModel.hdd(), 1.5) == float("inf")
+
+
+def test_invalid_amplification():
+    with pytest.raises(ValueError):
+        log_structured_write_seconds(100, DiskModel.hdd(), 0.5)
+
+
+def test_crossover_shrinks_with_amplification():
+    model = DiskModel.hdd()
+    assert crossover_object_bytes(model, 32) < crossover_object_bytes(model, 8)
+
+
+def test_table_shape():
+    rows = crossover_table([4.0, 8.0])
+    assert len(rows) == 3
+    names = [name for name, _, _ in rows]
+    assert "hdd" in names and "ssd" in names
+    for _, access, sizes in rows:
+        assert access > 0
+        assert len(sizes) == 2

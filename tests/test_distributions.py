@@ -1,0 +1,103 @@
+"""Unit tests for YCSB request distributions."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.ycsb import (
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from repro.ycsb.distributions import fnv1a_64, make_chooser, zeta
+
+
+def draw(chooser, n=20000, seed=0):
+    rng = random.Random(seed)
+    return [chooser.next(rng) for _ in range(n)]
+
+
+def test_uniform_in_range_and_flat():
+    chooser = UniformChooser(100)
+    samples = draw(chooser)
+    assert all(0 <= s < 100 for s in samples)
+    counts = Counter(samples)
+    assert max(counts.values()) < 3 * min(counts.values())
+
+
+def test_zipfian_in_range():
+    chooser = ZipfianChooser(1000)
+    assert all(0 <= s < 1000 for s in draw(chooser))
+
+
+def test_zipfian_is_skewed_to_low_ranks():
+    chooser = ZipfianChooser(1000)
+    samples = draw(chooser, n=50000)
+    counts = Counter(samples)
+    # Rank 0 should dominate: classic Zipf at theta=0.99.
+    assert counts[0] > counts.get(100, 0) * 5
+    top10 = sum(counts[i] for i in range(10)) / len(samples)
+    assert top10 > 0.3
+
+
+def test_zipfian_theta_validation():
+    with pytest.raises(ValueError):
+        ZipfianChooser(10, theta=1.0)
+    with pytest.raises(ValueError):
+        ZipfianChooser(10, theta=0.0)
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    chooser = ScrambledZipfianChooser(1000)
+    samples = draw(chooser, n=50000)
+    counts = Counter(samples)
+    hottest = counts.most_common(1)[0][0]
+    # The hot key is *some* key, not necessarily index 0.
+    assert counts.most_common(1)[0][1] > len(samples) * 0.05
+    assert all(0 <= s < 1000 for s in samples)
+    # Determinism: hashing must be stable across instances.
+    assert ScrambledZipfianChooser(1000).next(random.Random(0)) == samples[0]
+    assert isinstance(hottest, int)
+
+
+def test_latest_favors_recent():
+    chooser = LatestChooser(1000)
+    samples = draw(chooser, n=20000)
+    recent = sum(1 for s in samples if s >= 900) / len(samples)
+    assert recent > 0.5
+
+
+def test_latest_grows():
+    chooser = LatestChooser(10)
+    chooser.grow(100)
+    assert chooser.n == 100
+    assert all(0 <= s < 100 for s in draw(chooser, n=1000))
+    chooser.grow(50)  # shrink requests are ignored
+    assert chooser.n == 100
+
+
+def test_make_chooser_names():
+    assert isinstance(make_chooser("uniform", 10), UniformChooser)
+    assert isinstance(make_chooser("zipfian", 10), ScrambledZipfianChooser)
+    assert isinstance(make_chooser("zipfian_clustered", 10), ZipfianChooser)
+    assert isinstance(make_chooser("latest", 10), LatestChooser)
+    with pytest.raises(ValueError):
+        make_chooser("nope", 10)
+
+
+def test_zero_items_rejected():
+    with pytest.raises(ValueError):
+        UniformChooser(0)
+
+
+def test_zeta_matches_harmonic():
+    assert zeta(1, 0.5) == 1.0
+    assert zeta(3, 1.0 - 1e-12) == pytest.approx(1 + 1 / 2 + 1 / 3, rel=1e-6)
+
+
+def test_fnv_is_deterministic_and_64bit():
+    assert fnv1a_64(12345) == fnv1a_64(12345)
+    assert fnv1a_64(1) != fnv1a_64(2)
+    assert 0 <= fnv1a_64(999) < 1 << 64

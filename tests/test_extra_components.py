@@ -1,0 +1,135 @@
+"""Tests for the Section 3.2 workaround: extra overlapping components."""
+
+import random
+
+import pytest
+
+from repro.core import BLSM, BLSMOptions
+from repro.records import Record, resolve
+from repro.storage import DurabilityMode
+
+
+def workaround_tree(**overrides):
+    defaults = dict(
+        c0_bytes=16 * 1024,
+        buffer_pool_pages=32,
+        extra_components=True,
+    )
+    defaults.update(overrides)
+    return BLSM(BLSMOptions(**defaults))
+
+
+def test_full_c0_flushes_instead_of_stalling():
+    tree = workaround_tree(scheduler="naive")
+    worst = 0.0
+    for i in range(3000):
+        before = tree.stasis.clock.now
+        tree.put(b"key%06d" % i, bytes(64))
+        worst = max(worst, tree.stasis.clock.now - before)
+    # The naive scheduler would stall for whole merge passes; the
+    # workaround bounds every write by one memtable flush.
+    assert worst < 0.02
+    assert tree.component_sizes()["extras"] >= 0
+
+
+def test_extras_accumulate_under_naive_scheduler():
+    tree = workaround_tree(scheduler="naive")
+    for i in range(4000):
+        tree.put(b"key%06d" % i, bytes(64))
+    # The naive scheduler never merges below a full C0, so the flushes
+    # pile up as overlapping components — HBase with compaction off.
+    assert len(tree._extras) >= 2
+
+
+def test_reads_see_extras_newest_first():
+    tree = workaround_tree(scheduler="naive")
+    tree.put(b"k", b"old")
+    tree.force_drain(0.0, 1 << 20)  # flush to extra
+    tree.put(b"k", b"new")
+    tree.force_drain(0.0, 1 << 20)  # second, newer extra
+    assert len(tree._extras) == 2
+    assert tree.get(b"k") == b"new"
+
+
+def test_model_correctness_with_extras():
+    tree = workaround_tree(scheduler="naive")
+    rng = random.Random(8)
+    model = {}
+    for i in range(5000):
+        action = rng.random()
+        key = b"key%05d" % rng.randrange(1200)
+        if action < 0.7:
+            value = b"v%05d" % i
+            tree.put(key, value)
+            model[key] = value
+        elif action < 0.85:
+            tree.delete(key)
+            model.pop(key, None)
+        elif key in model:
+            tree.apply_delta(key, b"+D")
+            model[key] += b"+D"
+    assert sum(1 for k, v in model.items() if tree.get(k) != v) == 0
+    assert list(tree.scan(b"")) == sorted(model.items())
+
+
+def test_merges_drain_extras_oldest_first():
+    tree = workaround_tree(scheduler="spring_gear")
+    for i in range(5000):
+        tree.put(b"key%06d" % (i % 2000), bytes(64))
+    tree.drain()
+    while tree._extras or tree._m01 is not None:
+        if tree.step_m01(1 << 30) == 0 and tree.step_m12(1 << 30) == 0:
+            break
+    assert tree._extras == []
+    assert tree.get(b"key000000") is not None
+
+
+def test_extras_survive_crash():
+    options = BLSMOptions(
+        c0_bytes=16 * 1024,
+        extra_components=True,
+        scheduler="naive",
+        durability=DurabilityMode.SYNC,
+    )
+    tree = BLSM(options)
+    model = {}
+    for i in range(3000):
+        key = b"key%05d" % (i % 1000)
+        tree.put(key, b"v%d" % i)
+        model[key] = b"v%d" % i
+    extras_before = len(tree._extras)
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    assert len(recovered._extras) == extras_before
+    assert sum(1 for k, v in model.items() if recovered.get(k) != v) == 0
+
+
+def test_scan_cost_grows_with_extras():
+    tree = workaround_tree(scheduler="naive", buffer_pool_pages=2)
+    for i in range(5000):
+        tree.put(b"key%06d" % (i % 2500), bytes(64))
+    extras = len(tree._extras)
+    assert extras >= 2
+    seeks_before = tree.stasis.data_disk.stats.seeks
+    list(tree.scan(b"key", limit=5))
+    seeks = tree.stasis.data_disk.stats.seeks - seeks_before
+    # Every overlapping component costs the scan a seek (§3.2's point).
+    assert seeks >= extras
+
+
+def test_resolve_dedupes_equal_seqno_deltas():
+    versions = [
+        Record.delta(b"k", b"+D", 7),
+        Record.delta(b"k", b"+D", 7),  # replay duplicate
+        Record.base(b"k", b"v", 3),
+    ]
+    assert resolve(versions) == b"v+D"
+
+
+def test_default_mode_has_no_extras():
+    tree = BLSM(BLSMOptions(c0_bytes=16 * 1024))
+    for i in range(3000):
+        tree.put(b"key%06d" % i, bytes(64))
+    assert tree._extras == []
+    assert tree.component_sizes()["extras"] == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the operation generator."""
+
+from collections import Counter
+
+from repro.ycsb import OperationGenerator, OpKind, WorkloadSpec
+from repro.ycsb.generator import make_key, make_value
+
+
+def test_make_key_ordered_vs_hashed():
+    ordered = [make_key(i, ordered=True) for i in range(10)]
+    assert ordered == sorted(ordered)
+    hashed = [make_key(i, ordered=False) for i in range(100)]
+    assert hashed != sorted(hashed)
+    assert len(set(hashed)) == 100  # no collisions at this scale
+
+
+def test_make_value_size():
+    import random
+
+    assert len(make_value(random.Random(0), 100)) == 100
+
+
+def test_load_keys_count_and_uniqueness():
+    spec = WorkloadSpec(record_count=500, operation_count=0)
+    generator = OperationGenerator(spec)
+    keys = list(generator.load_keys())
+    assert len(keys) == 500
+    assert len(set(keys)) == 500
+
+
+def test_operation_count_and_mix():
+    spec = WorkloadSpec(
+        record_count=100,
+        operation_count=5000,
+        read_proportion=0.7,
+        blind_write_proportion=0.3,
+    )
+    ops = list(OperationGenerator(spec, seed=1).operations())
+    assert len(ops) == 5000
+    mix = Counter(op.kind for op in ops)
+    assert 0.6 < mix[OpKind.READ] / 5000 < 0.8
+    assert 0.2 < mix[OpKind.BLIND_WRITE] / 5000 < 0.4
+
+
+def test_requests_target_loaded_keys():
+    spec = WorkloadSpec(
+        record_count=50, operation_count=500, read_proportion=1.0
+    )
+    generator = OperationGenerator(spec, seed=2)
+    loaded = set(generator.load_keys())
+    for op in generator.operations():
+        assert op.key in loaded
+
+
+def test_inserts_extend_the_keyspace():
+    spec = WorkloadSpec(
+        record_count=10, operation_count=100, insert_proportion=1.0
+    )
+    generator = OperationGenerator(spec, seed=3)
+    loaded = set(generator.load_keys())
+    new_keys = [op.key for op in generator.operations()]
+    assert len(set(new_keys)) == 100
+    assert not (set(new_keys) & loaded)
+
+
+def test_scan_lengths_in_bounds():
+    spec = WorkloadSpec(
+        record_count=100,
+        operation_count=300,
+        scan_proportion=1.0,
+        scan_length_min=2,
+        scan_length_max=7,
+    )
+    for op in OperationGenerator(spec, seed=4).operations():
+        assert op.kind is OpKind.SCAN
+        assert 2 <= op.scan_length <= 7
+
+
+def test_writes_carry_values_of_configured_size():
+    spec = WorkloadSpec(
+        record_count=10,
+        operation_count=50,
+        blind_write_proportion=1.0,
+        value_bytes=77,
+    )
+    for op in OperationGenerator(spec, seed=5).operations():
+        assert len(op.value) == 77
+
+
+def test_deterministic_given_seed():
+    spec = WorkloadSpec(
+        record_count=20,
+        operation_count=100,
+        read_proportion=0.5,
+        blind_write_proportion=0.5,
+    )
+    a = list(OperationGenerator(spec, seed=9).operations())
+    b = list(OperationGenerator(spec, seed=9).operations())
+    assert a == b
+
+
+def test_reads_and_deletes_have_no_value():
+    spec = WorkloadSpec(
+        record_count=20,
+        operation_count=60,
+        read_proportion=0.5,
+        delete_proportion=0.5,
+    )
+    for op in OperationGenerator(spec, seed=6).operations():
+        assert op.value is None

@@ -1,0 +1,85 @@
+"""Unit tests for k-way merging and record collapsing."""
+
+from repro.records import Record
+from repro.sstable import kway_merge, merge_records
+
+
+def recs(*pairs):
+    return [Record.base(k, v, s) for k, v, s in pairs]
+
+
+def test_merge_disjoint_sources():
+    a = recs((b"a", b"1", 10), (b"c", b"3", 11))
+    b = recs((b"b", b"2", 1), (b"d", b"4", 2))
+    groups = list(kway_merge([iter(a), iter(b)]))
+    assert [g[0].key for g in groups] == [b"a", b"b", b"c", b"d"]
+    assert all(len(g) == 1 for g in groups)
+
+
+def test_merge_groups_versions_newest_first():
+    newer = recs((b"k", b"new", 10))
+    older = recs((b"k", b"old", 1))
+    groups = list(kway_merge([iter(newer), iter(older)]))
+    assert len(groups) == 1
+    assert [r.value for r in groups[0]] == [b"new", b"old"]
+
+
+def test_merge_three_sources():
+    s0 = recs((b"a", b"0", 30))
+    s1 = recs((b"a", b"1", 20), (b"b", b"1", 21))
+    s2 = recs((b"a", b"2", 10), (b"c", b"2", 11))
+    groups = list(kway_merge([iter(s0), iter(s1), iter(s2)]))
+    assert [g[0].key for g in groups] == [b"a", b"b", b"c"]
+    assert [r.value for r in groups[0]] == [b"0", b"1", b"2"]
+
+
+def test_merge_empty_sources():
+    assert list(kway_merge([])) == []
+    assert list(kway_merge([iter([]), iter([])])) == []
+
+
+def test_merge_records_keeps_newest_base():
+    group = recs((b"k", b"new", 10)) + recs((b"k", b"old", 1))
+    merged = merge_records(group)
+    assert merged.value == b"new"
+
+
+def test_merge_records_folds_delta_chain():
+    group = [
+        Record.delta(b"k", b"+2", 3),
+        Record.delta(b"k", b"+1", 2),
+        Record.base(b"k", b"v", 1),
+    ]
+    merged = merge_records(group)
+    assert merged.is_base
+    assert merged.value == b"v+1+2"
+
+
+def test_merge_records_tombstone_kept_mid_tree():
+    group = [Record.tombstone(b"k", 2), Record.base(b"k", b"v", 1)]
+    merged = merge_records(group, drop_tombstones=False)
+    assert merged is not None and merged.is_tombstone
+
+
+def test_merge_records_tombstone_dropped_at_bottom():
+    group = [Record.tombstone(b"k", 2), Record.base(b"k", b"v", 1)]
+    assert merge_records(group, drop_tombstones=True) is None
+
+
+def test_merge_records_delta_over_tombstone_collapses_to_tombstone():
+    group = [
+        Record.delta(b"k", b"+1", 3),
+        Record.tombstone(b"k", 2),
+        Record.base(b"k", b"v", 1),
+    ]
+    merged = merge_records(group, drop_tombstones=False)
+    assert merged is not None and merged.is_tombstone
+    # At the bottom level the tombstone (and everything under it) drops.
+    assert merge_records(group, drop_tombstones=True) is None
+
+
+def test_merge_records_delta_after_tombstone_does_not_resurrect():
+    # Mid-tree: the folded record must keep shadowing a deeper base.
+    group = [Record.delta(b"k", b"+1", 3), Record.tombstone(b"k", 2)]
+    merged = merge_records(group, drop_tombstones=False)
+    assert merged is not None and merged.is_tombstone

@@ -1,0 +1,176 @@
+"""Behavioural tests for the LevelDB-like leveled LSM engine."""
+
+import random
+
+import pytest
+
+from repro.baselines import LevelDBEngine
+from repro.errors import EngineClosedError
+
+
+def small_engine(**overrides):
+    defaults = dict(
+        memtable_bytes=8 * 1024,
+        file_bytes=16 * 1024,
+        level_base_bytes=32 * 1024,
+        buffer_pool_pages=64,
+    )
+    defaults.update(overrides)
+    return LevelDBEngine(**defaults)
+
+
+def test_put_get_roundtrip():
+    engine = small_engine()
+    engine.put(b"k", b"v")
+    assert engine.get(b"k") == b"v"
+    assert engine.get(b"missing") is None
+
+
+def test_memtable_flush_creates_l0_files():
+    engine = small_engine()
+    for i in range(200):
+        engine.put(b"key%04d" % i, bytes(64))
+    assert engine.io_summary()["l0_files"] > 0 or engine._levels
+
+
+def test_model_equivalence_under_churn():
+    engine = small_engine()
+    rng = random.Random(6)
+    model = {}
+    for i in range(4000):
+        action = rng.random()
+        key = b"key%05d" % rng.randrange(1500)
+        if action < 0.75:
+            value = b"v%05d" % i
+            engine.put(key, value)
+            model[key] = value
+        elif action < 0.85:
+            engine.delete(key)
+            model.pop(key, None)
+        elif key in model:
+            engine.apply_delta(key, b"+D")
+            model[key] += b"+D"
+    mismatches = sum(1 for k, v in model.items() if engine.get(k) != v)
+    assert mismatches == 0
+
+
+def test_scan_matches_model():
+    engine = small_engine()
+    rng = random.Random(8)
+    model = {}
+    for i in range(3000):
+        key = b"key%05d" % rng.randrange(1200)
+        value = b"v%d" % i
+        engine.put(key, value)
+        model[key] = value
+    expected = sorted(model.items())[:300]
+    lo = expected[0][0]
+    got = list(engine.scan(lo, limit=300))
+    assert got == expected[:300]
+
+
+def test_levels_form_and_grow():
+    engine = small_engine()
+    rng = random.Random(9)
+    for i in range(6000):
+        engine.put(b"key%06d" % rng.randrange(10**6), bytes(64))
+    summary = engine.io_summary()
+    assert summary["levels"]  # at least L1 exists
+    assert engine.level_bytes(1) > 0
+
+
+def test_reads_probe_multiple_components():
+    # Without Bloom filters an absent in-range key probes L0 files and
+    # one file per level: O(levels) seeks (Table 1).
+    engine = small_engine(buffer_pool_pages=2)
+    rng = random.Random(10)
+    for i in range(5000):
+        engine.put(b"key%06d" % rng.randrange(10**6), bytes(64))
+    stats = engine.stasis.data_disk.stats
+    before = stats.seeks
+    n = 50
+    for i in range(n):
+        engine.get(b"key%06dx" % rng.randrange(10**6))
+    assert (stats.seeks - before) / n > 1.5
+
+
+def test_l0_stop_trigger_causes_stall():
+    engine = small_engine(
+        l0_compaction_trigger=2, l0_slowdown_trigger=3, l0_stop_trigger=4,
+        compaction_share=0.0,  # starve background work to force the stop
+    )
+    rng = random.Random(11)
+    for i in range(4000):
+        engine.put(b"key%06d" % rng.randrange(10**6), bytes(64))
+    assert engine.stop_events > 0
+    assert engine.stall_seconds > 0
+
+
+def test_slowdown_trigger_sleeps():
+    engine = small_engine(
+        l0_compaction_trigger=8,  # compaction hardly ever starts
+        l0_slowdown_trigger=2,
+        l0_stop_trigger=100,
+        compaction_share=0.0,
+    )
+    rng = random.Random(12)
+    for i in range(1500):
+        engine.put(b"key%06d" % rng.randrange(10**6), bytes(64))
+    assert engine.slowdown_events > 0
+
+
+def test_tombstones_eventually_collected():
+    engine = small_engine()
+    for i in range(300):
+        engine.put(b"key%03d" % i, bytes(64))
+    for i in range(300):
+        engine.delete(b"key%03d" % i)
+    # Push everything down: repeated filler writes drive compactions.
+    for i in range(3000):
+        engine.put(b"zz%06d" % i, bytes(64))
+    assert engine.get(b"key000") is None
+    assert list(engine.scan(b"key", b"kez")) == []
+
+
+def test_blind_delta_is_zero_seek():
+    engine = small_engine()
+    engine.put(b"k", b"base")
+    seeks = engine.stasis.data_disk.stats.seeks
+    engine.apply_delta(b"k", b"+d")
+    assert engine.stasis.data_disk.stats.seeks == seeks
+    assert engine.get(b"k") == b"base+d"
+
+
+def test_insert_if_not_exists_works_but_seeks():
+    engine = small_engine(buffer_pool_pages=2)
+    rng = random.Random(13)
+    for i in range(4000):
+        engine.put(b"key%06d" % rng.randrange(10**6), bytes(64))
+    assert engine.insert_if_not_exists(b"key0000001x", b"v")
+    assert not engine.insert_if_not_exists(b"key0000001x", b"w")
+    stats = engine.stasis.data_disk.stats
+    before = stats.seeks
+    engine.insert_if_not_exists(b"key%06dy" % rng.randrange(10**6), b"v")
+    assert stats.seeks > before  # the existence check paid real I/O
+
+
+def test_closed_engine_rejects_operations():
+    engine = small_engine()
+    engine.close()
+    with pytest.raises(EngineClosedError):
+        engine.put(b"k", b"v")
+
+
+def test_compaction_preserves_data_across_many_levels():
+    engine = small_engine(memtable_bytes=4 * 1024, file_bytes=8 * 1024,
+                          level_base_bytes=16 * 1024)
+    model = {}
+    rng = random.Random(14)
+    for i in range(8000):
+        key = b"key%05d" % rng.randrange(4000)
+        value = b"v%d" % i
+        engine.put(key, value)
+        model[key] = value
+    assert len(engine.io_summary()["levels"]) >= 2
+    sample = rng.sample(sorted(model), 500)
+    assert all(engine.get(k) == model[k] for k in sample)

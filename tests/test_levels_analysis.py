@@ -1,0 +1,68 @@
+"""Tests for the level-count trade-off model (Section 2.3.1)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    level_ratio,
+    optimal_levels_for_write,
+    read_amplification,
+    tradeoff_table,
+    write_amplification,
+)
+
+
+def test_level_ratio_is_nth_root():
+    assert level_ratio(100, 2) == pytest.approx(10.0)
+    assert level_ratio(8, 3) == pytest.approx(2.0)
+    assert level_ratio(25, 1) == pytest.approx(25.0)
+
+
+def test_level_ratio_validation():
+    with pytest.raises(ValueError):
+        level_ratio(10, 0)
+    with pytest.raises(ValueError):
+        level_ratio(0.5, 2)
+
+
+def test_write_amp_falls_then_rises_with_levels():
+    # More levels reduce R (cheaper crossings) but add crossings.
+    ratio = 10_000.0
+    amps = [write_amplification(ratio, n) for n in range(1, 20)]
+    best = min(range(len(amps)), key=lambda i: amps[i])
+    assert 0 < best < len(amps) - 1  # an interior optimum exists
+    assert amps[0] > amps[best]
+    assert amps[-1] > amps[best]
+
+
+def test_optimal_levels_grow_logarithmically():
+    # Section 2.3.1: O(N-1 root of data) insert cost; the write-optimal
+    # N grows like ln(data/C0).
+    small = optimal_levels_for_write(10)
+    large = optimal_levels_for_write(100_000)
+    assert large > small
+    assert large <= 3 * math.log(100_000)
+
+
+def test_two_levels_vs_many_reads():
+    # The paper's three-level choice: with Bloom filters reads are ~1
+    # regardless, but scans pay one seek per level (Section 3.3).
+    assert read_amplification(2, 0.01) == pytest.approx(1.01)
+    assert read_amplification(8, 0.01) == pytest.approx(1.07)
+    assert read_amplification(8, None) == 8.0
+
+
+def test_tradeoff_table_shape():
+    rows = tradeoff_table(625, max_levels=4)
+    assert [row["levels"] for row in rows] == [1, 2, 3, 4]
+    two = rows[1]
+    assert two["r"] == pytest.approx(25.0)
+    # The paper's design point: 2 on-disk levels -> scans cost 2 seeks,
+    # reads ~1 with filters; write amp is higher than the write-optimal
+    # deep tree but bounded.
+    assert two["scan_seeks"] == 2.0
+    assert two["read_amp_bloom"] < 1.05
+    deep = rows[-1]
+    assert deep["write_amp"] < two["write_amp"]  # deep trees write cheaper
+    assert deep["scan_seeks"] > two["scan_seeks"]  # ...and scan worse

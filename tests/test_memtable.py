@@ -1,0 +1,102 @@
+"""Unit tests for the C0 memtable."""
+
+import pytest
+
+from repro.memtable import MemTable
+from repro.records import Record
+
+
+def test_put_and_get():
+    table = MemTable(1024)
+    record = Record.base(b"k", b"v", 1)
+    table.put(record)
+    assert table.get(b"k") == record
+
+
+def test_byte_accounting_on_insert_and_overwrite():
+    table = MemTable(10_000)
+    table.put(Record.base(b"k", b"v" * 10, 1))
+    first = table.nbytes
+    table.put(Record.base(b"k", b"v" * 50, 2))
+    assert table.nbytes == first + 40
+    assert len(table) == 1
+
+
+def test_fill_fraction():
+    table = MemTable(100)
+    table.put(Record.base(b"k", b"v" * 34, 1))  # 16 + 1 + 34 = 51 bytes
+    assert table.fill_fraction == pytest.approx(0.51)
+
+
+def test_newer_write_supersedes():
+    table = MemTable(1024)
+    table.put(Record.base(b"k", b"old", 1))
+    table.put(Record.base(b"k", b"new", 2))
+    assert table.get(b"k").value == b"new"
+
+
+def test_delta_folds_onto_resident_base():
+    table = MemTable(1024)
+    table.put(Record.base(b"k", b"v", 1))
+    table.put(Record.delta(b"k", b"+d", 2))
+    record = table.get(b"k")
+    assert record.is_base
+    assert record.value == b"v+d"
+
+
+def test_delta_without_base_stays_delta():
+    table = MemTable(1024)
+    table.put(Record.delta(b"k", b"+d", 1))
+    assert table.get(b"k").is_delta
+
+
+def test_tombstone_supersedes():
+    table = MemTable(1024)
+    table.put(Record.base(b"k", b"v", 1))
+    table.put(Record.tombstone(b"k", 2))
+    assert table.get(b"k").is_tombstone
+
+
+def test_remove_updates_bytes():
+    table = MemTable(1024)
+    table.put(Record.base(b"k", b"v", 1))
+    removed = table.remove(b"k")
+    assert removed is not None
+    assert table.nbytes == 0
+    assert table.is_empty
+
+
+def test_remove_missing_returns_none():
+    table = MemTable(1024)
+    assert table.remove(b"nope") is None
+
+
+def test_iteration_sorted():
+    table = MemTable(10_000)
+    for i in (5, 1, 3, 2, 4):
+        table.put(Record.base(b"%d" % i, b"", i))
+    assert [r.key for r in table] == [b"1", b"2", b"3", b"4", b"5"]
+
+
+def test_iter_from_and_scan():
+    table = MemTable(10_000)
+    for i in range(10):
+        table.put(Record.base(b"%02d" % i, b"", i))
+    assert [r.key for r in table.iter_from(b"07")] == [b"07", b"08", b"09"]
+    assert [r.key for r in table.scan(b"03", b"06")] == [b"03", b"04", b"05"]
+    assert [r.key for r in table.scan(b"08", None)] == [b"08", b"09"]
+
+
+def test_first_and_ceiling_key():
+    table = MemTable(1024)
+    assert table.first_key() is None
+    table.put(Record.base(b"m", b"", 1))
+    table.put(Record.base(b"c", b"", 2))
+    assert table.first_key() == b"c"
+    assert table.ceiling_key(b"d") == b"m"
+    assert table.ceiling_key(b"z") is None
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        MemTable(0)

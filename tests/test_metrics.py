@@ -1,0 +1,81 @@
+"""Unit tests for latency statistics and timeseries."""
+
+import pytest
+
+from repro.ycsb import LatencyStats, Timeseries
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.max == 0.0
+        assert stats.percentile(99) == 0.0
+
+    def test_mean_and_max(self):
+        stats = LatencyStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.record(value)
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.max == 3.0
+
+    def test_percentiles_nearest_rank(self):
+        stats = LatencyStats()
+        for value in range(1, 101):
+            stats.record(float(value))
+        assert stats.percentile(50) == 50.0
+        assert stats.percentile(99) == 99.0
+        assert stats.percentile(100) == 100.0
+        assert stats.percentile(0) == 1.0
+
+    def test_recording_after_percentile_query(self):
+        stats = LatencyStats()
+        stats.record(5.0)
+        assert stats.percentile(50) == 5.0
+        stats.record(1.0)
+        assert stats.percentile(0) == 1.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            LatencyStats().percentile(101)
+
+    def test_summary_keys(self):
+        stats = LatencyStats()
+        stats.record(1.0)
+        summary = stats.summary()
+        for key in ("count", "mean", "p50", "p95", "p99", "max"):
+            assert key in summary
+
+
+class TestTimeseries:
+    def test_windows_partition_time(self):
+        series = Timeseries(window_seconds=1.0)
+        series.record(0.5, 0.01)
+        series.record(1.5, 0.02)
+        series.record(1.9, 0.04)
+        assert len(series.windows) == 2
+        assert series.throughputs() == [1.0, 2.0]
+
+    def test_gap_windows_are_empty(self):
+        series = Timeseries(window_seconds=1.0)
+        series.record(0.0, 0.01)
+        series.record(3.5, 0.01)
+        assert len(series.windows) == 4
+        assert series.throughputs()[1] == 0.0
+
+    def test_latency_aggregation(self):
+        series = Timeseries(window_seconds=1.0)
+        series.record(0.1, 0.010)
+        series.record(0.2, 0.030)
+        window = series.windows[0]
+        assert window.mean_latency == pytest.approx(0.020)
+        assert window.latency_max == pytest.approx(0.030)
+        assert series.max_latencies() == [pytest.approx(0.030)]
+
+    def test_rows_shape(self):
+        series = Timeseries(window_seconds=0.5)
+        series.record(0.1, 0.01)
+        rows = series.rows()
+        assert rows[0][0] == 0.0
+        assert rows[0][1] == pytest.approx(2.0)

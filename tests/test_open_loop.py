@@ -1,0 +1,93 @@
+"""Tests for the open-loop (throttled) runner."""
+
+import pytest
+
+from repro.baselines import BLSMEngine
+from repro.core import BLSMOptions
+from repro.sim import DiskModel
+from repro.ycsb import WorkloadSpec, load_phase, run_open_loop, run_workload
+
+
+def engine_and_spec():
+    engine = BLSMEngine(
+        BLSMOptions(
+            c0_bytes=64 * 1024,
+            buffer_pool_pages=8,
+            disk_model=DiskModel.hdd(),
+        )
+    )
+    spec = WorkloadSpec(
+        record_count=800,
+        operation_count=400,
+        read_proportion=1.0,
+        value_bytes=200,
+    )
+    load_phase(engine, spec, seed=1)
+    engine.tree.compact()
+    return engine, spec
+
+
+def closed_loop_capacity():
+    engine, spec = engine_and_spec()
+    return run_workload(engine, spec, seed=2).throughput
+
+
+def test_light_load_latency_is_service_time():
+    capacity = closed_loop_capacity()
+    engine, spec = engine_and_spec()
+    result = run_open_loop(engine, spec, offered_rate=0.2 * capacity, seed=2)
+    assert not result.saturated
+    # With the device mostly idle, p50 latency is about one seek.
+    assert result.latency.percentile(50) < 3 * DiskModel.hdd().read_access_seconds
+
+
+def test_overload_builds_backlog():
+    capacity = closed_loop_capacity()
+    engine, spec = engine_and_spec()
+    result = run_open_loop(engine, spec, offered_rate=3.0 * capacity, seed=2)
+    assert result.saturated
+    assert result.backlog_seconds > 0
+    # Under overload the achieved rate approaches closed-loop capacity.
+    assert result.achieved_rate < 1.5 * capacity
+
+
+def test_latency_grows_with_load():
+    capacity = closed_loop_capacity()
+    p99s = []
+    for fraction in (0.2, 0.7, 1.5):
+        engine, spec = engine_and_spec()
+        result = run_open_loop(
+            engine, spec, offered_rate=fraction * capacity, seed=2
+        )
+        p99s.append(result.latency.percentile(99))
+    # Below the knee, latency is flat at the service time (deterministic
+    # arrivals and service queue almost nothing)...
+    assert p99s[1] == pytest.approx(p99s[0], rel=0.5)
+    # ... and past the knee it explodes: the hockey stick.
+    assert p99s[2] > 3 * p99s[1]
+
+
+def test_poisson_arrivals():
+    capacity = closed_loop_capacity()
+    engine, spec = engine_and_spec()
+    result = run_open_loop(
+        engine, spec, offered_rate=0.5 * capacity, seed=2, poisson=True
+    )
+    assert result.operations == spec.operation_count
+    assert result.latency.count == spec.operation_count
+
+
+def test_deterministic_latencies_repeatable():
+    capacity = closed_loop_capacity()
+    outcomes = []
+    for _ in range(2):
+        engine, spec = engine_and_spec()
+        result = run_open_loop(engine, spec, offered_rate=0.5 * capacity, seed=2)
+        outcomes.append(result.latency.percentile(99))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_invalid_rate_rejected():
+    engine, spec = engine_and_spec()
+    with pytest.raises(ValueError):
+        run_open_loop(engine, spec, offered_rate=0)

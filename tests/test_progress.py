@@ -1,0 +1,49 @@
+"""Unit tests for the gear scheduler's progress estimators."""
+
+import pytest
+
+from repro.core.progress import inprogress, outprogress
+
+
+def test_inprogress_is_fraction_of_input():
+    assert inprogress(50, 100) == pytest.approx(0.5)
+
+
+def test_inprogress_clamped_to_one():
+    assert inprogress(150, 100) == 1.0
+
+
+def test_inprogress_empty_input_is_complete():
+    assert inprogress(0, 0) == 1.0
+
+
+def test_inprogress_is_smooth():
+    # Any merge activity increases the estimate (the paper's smoothness
+    # requirement; estimators that can get stuck cause routine stalls).
+    values = [inprogress(b, 1000) for b in range(0, 1001, 10)]
+    assert all(b > a for a, b in zip(values, values[1:]))
+
+
+def test_outprogress_counts_completed_passes():
+    # After 2 of 4 passes with the current merge half done: (0.5+2)/4.
+    assert outprogress(0.5, tree_bytes=2000, ram_bytes=1000, r=4) == pytest.approx(
+        0.625
+    )
+
+
+def test_outprogress_reaches_one_when_tree_fills():
+    assert outprogress(1.0, tree_bytes=3000, ram_bytes=1000, r=4) == 1.0
+
+
+def test_outprogress_clamped():
+    assert outprogress(1.0, tree_bytes=9000, ram_bytes=1000, r=4) == 1.0
+
+
+def test_outprogress_fractional_r_uses_ceiling():
+    value = outprogress(0.0, tree_bytes=1000, ram_bytes=1000, r=2.5)
+    assert value == pytest.approx(1.0 / 3.0)
+
+
+def test_outprogress_invalid_ram_rejected():
+    with pytest.raises(ValueError):
+        outprogress(0.5, 100, 0, 4)

@@ -1,0 +1,124 @@
+"""Unit tests for the region (extent) allocator."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.storage import Extent, RegionAllocator
+
+
+def test_allocations_are_contiguous_and_disjoint():
+    alloc = RegionAllocator()
+    a = alloc.allocate(10)
+    b = alloc.allocate(5)
+    assert a.length == 10
+    assert b.start >= a.end
+
+
+def test_free_then_reuse():
+    alloc = RegionAllocator()
+    a = alloc.allocate(10)
+    alloc.allocate(5)
+    alloc.free(a)
+    c = alloc.allocate(10)
+    assert c.start == a.start  # first-fit reuses the hole
+
+
+def test_partial_reuse_splits_hole():
+    alloc = RegionAllocator()
+    a = alloc.allocate(10)
+    alloc.allocate(1)
+    alloc.free(a)
+    c = alloc.allocate(4)
+    d = alloc.allocate(6)
+    assert c == Extent(a.start, 4)
+    assert d == Extent(a.start + 4, 6)
+
+
+def test_coalescing_merges_adjacent_holes():
+    alloc = RegionAllocator()
+    a = alloc.allocate(4)
+    b = alloc.allocate(4)
+    c = alloc.allocate(4)
+    alloc.allocate(1)  # guard so the tail is not open space
+    alloc.free(a)
+    alloc.free(c)
+    alloc.free(b)  # middle free must merge all three
+    d = alloc.allocate(12)
+    assert d == Extent(a.start, 12)
+
+
+def test_double_free_rejected():
+    alloc = RegionAllocator()
+    a = alloc.allocate(4)
+    alloc.free(a)
+    with pytest.raises(RegionError):
+        alloc.free(a)
+
+
+def test_free_unallocated_rejected():
+    alloc = RegionAllocator()
+    with pytest.raises(RegionError):
+        alloc.free(Extent(100, 4))
+
+
+def test_zero_length_rejected():
+    alloc = RegionAllocator()
+    with pytest.raises(RegionError):
+        alloc.allocate(0)
+
+
+def test_shrink_returns_tail():
+    alloc = RegionAllocator()
+    a = alloc.allocate(10)
+    alloc.allocate(1)  # block tail growth
+    shrunk = alloc.shrink(a, 6)
+    assert shrunk == Extent(a.start, 6)
+    tail = alloc.allocate(4)
+    assert tail == Extent(a.start + 6, 4)
+
+
+def test_shrink_to_same_length_is_noop():
+    alloc = RegionAllocator()
+    a = alloc.allocate(10)
+    assert alloc.shrink(a, 10) == a
+
+
+def test_shrink_invalid_length_rejected():
+    alloc = RegionAllocator()
+    a = alloc.allocate(10)
+    with pytest.raises(RegionError):
+        alloc.shrink(a, 0)
+    with pytest.raises(RegionError):
+        alloc.shrink(a, 11)
+
+
+def test_shrunk_extent_can_be_freed():
+    alloc = RegionAllocator()
+    a = alloc.allocate(10)
+    shrunk = alloc.shrink(a, 6)
+    alloc.free(shrunk)
+    assert alloc.free_pages() >= 10
+
+
+def test_free_pages_accounting():
+    alloc = RegionAllocator()
+    a = alloc.allocate(8)
+    alloc.allocate(2)
+    alloc.free(a)
+    assert alloc.free_pages() == 8
+
+
+def test_extent_contains():
+    extent = Extent(10, 5)
+    assert 10 in extent
+    assert 14 in extent
+    assert 15 not in extent
+    assert 9 not in extent
+
+
+def test_allocated_extents_listing():
+    alloc = RegionAllocator()
+    a = alloc.allocate(3)
+    b = alloc.allocate(2)
+    alloc.free(a)
+    assert alloc.allocated_extents == [b]

@@ -1,0 +1,131 @@
+"""Regression tests: exact log retention and replay idempotence.
+
+Two classes of corruption fixed during development, both around deltas:
+
+1. **Double application** — conservative (prefix) log truncation kept
+   records already merged into durable components; replaying a delta a
+   component already contains appends it twice.  Fixed by exact
+   retention: the log keeps precisely the coverage ranges of the
+   records still resident in C0.
+
+2. **Tombstone swallowing** — folding a delta over a tombstone used to
+   keep only the (dangling) delta, letting reads walk past the deletion
+   and anchor on an older base in a deeper component.
+"""
+
+import random
+
+from repro.core import BLSM, BLSMOptions
+from repro.storage import DurabilityMode
+
+
+def sync_tree(**overrides):
+    defaults = dict(
+        c0_bytes=24 * 1024,
+        buffer_pool_pages=32,
+        durability=DurabilityMode.SYNC,
+    )
+    defaults.update(overrides)
+    return BLSM(BLSMOptions(**defaults)), BLSMOptions(**defaults)
+
+
+def test_merged_delta_not_double_applied_after_crash():
+    tree, options = sync_tree()
+    tree.put(b"victim", b"base")
+    # Old writes that stay in C0 across merges keep retention honest.
+    for i in range(20):
+        tree.put(b"old%02d" % i, b"x")
+    tree.apply_delta(b"victim", b"+D")
+    # Merge the delta into C1 while the old keys stay resident.
+    tree.drain()
+    assert tree.get(b"victim") == b"base+D"
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    assert recovered.get(b"victim") == b"base+D"  # not base+D+D
+
+
+def test_folded_delta_chain_survives_crash_exactly():
+    tree, options = sync_tree()
+    tree.put(b"k", b"v")
+    tree.apply_delta(b"k", b"+1")
+    tree.apply_delta(b"k", b"+2")  # folds in C0: one record, 3 writes
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    assert recovered.get(b"k") == b"v+1+2"
+
+
+def test_partially_merged_fold_survives_crash():
+    tree, options = sync_tree()
+    tree.put(b"k", b"v")
+    tree.drain()  # base durable
+    tree.apply_delta(b"k", b"+1")
+    tree.apply_delta(b"k", b"+2")
+    tree.drain()  # folded delta chain durable in C1
+    tree.apply_delta(b"k", b"+3")  # still only in C0 + log
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    assert recovered.get(b"k") == b"v+1+2+3"
+
+
+def test_delta_after_delete_does_not_resurrect_base():
+    tree, _ = sync_tree()
+    tree.put(b"k", b"resurrect-me")
+    tree.drain()  # base durable in C1
+    tree.delete(b"k")
+    tree.apply_delta(b"k", b"+D")  # folds over the tombstone in C0
+    assert tree.get(b"k") is None
+    tree.drain()
+    assert tree.get(b"k") is None
+    tree.compact()
+    assert tree.get(b"k") is None
+
+
+def test_delta_after_delete_crash_safe():
+    tree, options = sync_tree()
+    tree.put(b"k", b"resurrect-me")
+    tree.drain()
+    tree.delete(b"k")
+    tree.apply_delta(b"k", b"+D")
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    assert recovered.get(b"k") is None
+
+
+def test_fuzz_delta_delete_crash_recover():
+    rng = random.Random(123)
+    for trial in range(5):
+        tree, options = sync_tree()
+        model: dict[bytes, bytes] = {}
+        for i in range(1200):
+            key = b"k%03d" % rng.randrange(120)
+            action = rng.random()
+            if action < 0.45:
+                value = b"v%04d" % i
+                tree.put(key, value)
+                model[key] = value
+            elif action < 0.65:
+                tree.delete(key)
+                model.pop(key, None)
+            elif action < 0.90:
+                tree.apply_delta(key, b"+D")
+                if key in model:
+                    model[key] += b"+D"
+            else:
+                tree.drain()
+        stasis = tree.stasis
+        stasis.crash()
+        recovered = BLSM.recover(stasis, options)
+        bad = {
+            k: (v, recovered.get(k))
+            for k, v in model.items()
+            if recovered.get(k) != v
+        }
+        assert not bad, (trial, list(bad.items())[:3])
+        # Deleted keys stay deleted.
+        for key in (b"k%03d" % i for i in range(120)):
+            if key not in model:
+                assert recovered.get(key) is None, key

@@ -1,0 +1,180 @@
+"""Tests for the closed-loop YCSB runner."""
+
+import pytest
+
+from repro.baselines import BLSMEngine, BTreeEngine
+from repro.core import BLSMOptions
+from repro.ycsb import WorkloadSpec, load_phase, run_workload
+from repro.ycsb.generator import Operation, OpKind
+from repro.ycsb.runner import execute
+
+
+def blsm(**overrides):
+    defaults = dict(c0_bytes=64 * 1024, buffer_pool_pages=32)
+    defaults.update(overrides)
+    return BLSMEngine(BLSMOptions(**defaults))
+
+
+def spec_with(**overrides):
+    defaults = dict(
+        record_count=300,
+        operation_count=600,
+        read_proportion=0.5,
+        blind_write_proportion=0.5,
+        value_bytes=100,
+    )
+    defaults.update(overrides)
+    return WorkloadSpec(**defaults)
+
+
+def test_load_phase_populates_engine():
+    engine = blsm()
+    spec = spec_with()
+    result = load_phase(engine, spec)
+    assert result.operations == 300
+    # Spot-check a loaded key via the generator's own naming.
+    from repro.ycsb.generator import make_key
+
+    assert engine.get(make_key(0, ordered=False)) is not None
+
+
+def test_run_workload_executes_all_ops():
+    engine = blsm()
+    spec = spec_with()
+    load_phase(engine, spec)
+    result = run_workload(engine, spec)
+    assert result.operations == 600
+    assert result.elapsed_seconds > 0
+    assert result.throughput > 0
+
+
+def test_latencies_split_by_kind():
+    engine = blsm()
+    spec = spec_with()
+    load_phase(engine, spec)
+    result = run_workload(engine, spec)
+    assert OpKind.READ in result.latencies
+    assert OpKind.BLIND_WRITE in result.latencies
+    pooled = result.all_latencies()
+    assert pooled.count == 600
+
+
+def test_timeseries_collection():
+    engine = blsm()
+    spec = spec_with()
+    load_phase(engine, spec)
+    result = run_workload(engine, spec, timeseries_window=0.01)
+    assert result.timeseries is not None
+    assert sum(w.ops for w in result.timeseries.windows) == 600
+
+
+def test_io_delta_reported():
+    engine = blsm()
+    spec = spec_with()
+    load_phase(engine, spec)
+    result = run_workload(engine, spec)
+    assert result.io["data_seeks"] >= 0
+
+
+def test_summary_shape():
+    engine = blsm()
+    spec = spec_with(operation_count=10)
+    load_phase(engine, spec)
+    summary = run_workload(engine, spec).summary()
+    assert summary["engine"] == "bLSM"
+    assert summary["operations"] == 10
+
+
+def test_bulk_load_path():
+    engine = BTreeEngine(buffer_pool_pages=64)
+    spec = WorkloadSpec(
+        record_count=200, operation_count=0, ordered_inserts=True,
+        value_bytes=100,
+    )
+    result = load_phase(engine, spec, use_bulk_load=True)
+    assert result.operations == 200
+    from repro.ycsb.generator import make_key
+
+    assert engine.get(make_key(5, ordered=True)) is not None
+
+
+def test_bulk_load_requires_support():
+    engine = blsm()
+    spec = WorkloadSpec(record_count=10, operation_count=0)
+    with pytest.raises(ValueError):
+        load_phase(engine, spec, use_bulk_load=True)
+
+
+def test_check_exists_load_uses_iine():
+    engine = blsm()
+    spec = spec_with(check_exists_on_insert=True)
+    load_phase(engine, spec)
+    from repro.ycsb.generator import make_key
+
+    assert engine.get(make_key(10, ordered=False)) is not None
+
+
+def test_execute_each_kind():
+    engine = blsm()
+    engine.put(b"k", b"v")
+    execute(engine, Operation(OpKind.READ, b"k"))
+    execute(engine, Operation(OpKind.BLIND_WRITE, b"k", b"v2"))
+    execute(engine, Operation(OpKind.UPDATE, b"k", b"v3"))
+    execute(engine, Operation(OpKind.RMW, b"k", b"v4"))
+    execute(engine, Operation(OpKind.INSERT, b"k2", b"w"))
+    execute(engine, Operation(OpKind.SCAN, b"k", scan_length=2))
+    execute(engine, Operation(OpKind.DELETE, b"k"))
+    assert engine.get(b"k") is None
+    assert engine.get(b"k2") == b"w"
+
+
+def test_concurrency_inflates_latency_not_throughput():
+    # The paper's 128 unthrottled workers saturate a serial device:
+    # throughput is unchanged, latency multiplies with queue depth.
+    results = {}
+    for workers in (1, 16):
+        engine = blsm(buffer_pool_pages=4)
+        spec = spec_with(read_proportion=1.0, blind_write_proportion=0.0)
+        load_phase(engine, spec, seed=4)
+        engine.tree.compact()
+        results[workers] = run_workload(
+            engine, spec, seed=4, concurrency=workers
+        )
+    assert results[16].throughput == pytest.approx(
+        results[1].throughput, rel=0.01
+    )
+    p50_1 = results[1].all_latencies().percentile(50)
+    p50_16 = results[16].all_latencies().percentile(50)
+    assert p50_16 > 8 * p50_1
+
+
+def test_hundreds_of_ms_latency_at_paper_concurrency():
+    # Section 5.1: "with hard disks, this setup leads to latencies in
+    # the 100's of milliseconds across all three systems".
+    engine = blsm(buffer_pool_pages=4, c0_bytes=16 * 1024)
+    spec = spec_with(
+        record_count=600,
+        operation_count=600,
+        read_proportion=1.0,
+        blind_write_proportion=0.0,
+    )
+    load_phase(engine, spec, seed=5)
+    engine.tree.compact()
+    result = run_workload(engine, spec, seed=5, concurrency=128)
+    assert 0.05 < result.all_latencies().percentile(50) < 2.0
+
+
+def test_invalid_concurrency_rejected():
+    engine = blsm()
+    with pytest.raises(ValueError):
+        run_workload(engine, spec_with(), concurrency=0)
+
+
+def test_deterministic_runs():
+    results = []
+    for _ in range(2):
+        engine = blsm()
+        spec = spec_with()
+        load_phase(engine, spec, seed=3)
+        results.append(run_workload(engine, spec, seed=3).elapsed_seconds)
+    assert results[0] == results[1]

@@ -1,0 +1,101 @@
+"""Unit and behavioural tests for the merge schedulers."""
+
+import random
+
+import pytest
+
+from repro.core import BLSM, BLSMOptions
+from repro.core.scheduler import (
+    GearScheduler,
+    NaiveScheduler,
+    SpringGearScheduler,
+    make_scheduler,
+)
+
+
+def test_factory_names():
+    assert isinstance(make_scheduler("naive"), NaiveScheduler)
+    assert isinstance(make_scheduler("gear"), GearScheduler)
+    assert isinstance(make_scheduler("spring_gear"), SpringGearScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("bogus")
+
+
+def test_unattached_scheduler_rejects_use():
+    scheduler = make_scheduler("naive")
+    with pytest.raises(RuntimeError):
+        scheduler.on_write(100)
+
+
+def test_spring_gear_water_marks_validated():
+    with pytest.raises(ValueError):
+        SpringGearScheduler(low_water=0.9, high_water=0.5)
+
+
+def insert_latencies(scheduler, snowshovel, n=8000, c0_bytes=128 * 1024):
+    options = BLSMOptions(
+        c0_bytes=c0_bytes, scheduler=scheduler, snowshovel=snowshovel
+    )
+    tree = BLSM(options)
+    rng = random.Random(5)
+    latencies = []
+    for _ in range(n):
+        key = b"user%09d" % rng.randrange(10**9)
+        before = tree.stasis.clock.now
+        tree.put(key, bytes(64))
+        latencies.append(tree.stasis.clock.now - before)
+    return tree, latencies
+
+
+def test_spring_gear_keeps_c0_between_watermarks():
+    tree, _ = insert_latencies("spring_gear", snowshovel=True)
+    # Under steady uniform load C0 must settle inside the banded region.
+    assert tree.c0_fill_fraction <= 1.0
+
+
+def test_spring_gear_bounds_worst_case_stall():
+    _, spring = insert_latencies("spring_gear", snowshovel=True)
+    _, naive = insert_latencies("naive", snowshovel=False)
+    # The headline claim (Table 1): the level scheduler bounds insert
+    # latency; the naive scheduler's worst case is far larger.
+    assert max(spring) < max(naive)
+
+
+def test_naive_scheduler_stalls_are_pass_sized():
+    tree, latencies = insert_latencies("naive", snowshovel=False)
+    # The worst write waited for (at least) an entire C0:C1 pass.
+    assert max(latencies) > 20 * (sum(latencies) / len(latencies))
+
+
+def test_gear_scheduler_paces_merges_without_c0_overflow():
+    tree, latencies = insert_latencies("gear", snowshovel=False)
+    sizes = tree.component_sizes()
+    assert sizes["c1"] > 0  # merges actually ran
+    assert max(latencies) < 1.0  # no unbounded stall
+
+
+def test_spring_gear_pauses_merges_below_low_water():
+    options = BLSMOptions(
+        c0_bytes=1 << 20, scheduler="spring_gear", low_water=0.5
+    )
+    tree = BLSM(options)
+    for i in range(10):
+        tree.put(b"k%02d" % i, bytes(64))
+    # Fill is tiny, far below the low water mark: no merge should run.
+    assert tree.component_sizes()["c1"] == 0
+    assert tree._m01 is None
+
+
+def test_schedulers_produce_identical_contents():
+    results = {}
+    for name, snow in (("naive", False), ("gear", False), ("spring_gear", True)):
+        options = BLSMOptions(
+            c0_bytes=64 * 1024, scheduler=name, snowshovel=snow
+        )
+        tree = BLSM(options)
+        rng = random.Random(77)
+        for i in range(3000):
+            tree.put(b"key%05d" % rng.randrange(1500), b"v%d" % i)
+        tree.drain()
+        results[name] = sorted(tree.scan(b""))
+    assert results["naive"] == results["gear"] == results["spring_gear"]

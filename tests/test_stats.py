@@ -1,0 +1,45 @@
+"""Unit tests for I/O statistics counters."""
+
+import pytest
+
+from repro.sim import IOStats
+
+
+def test_defaults_are_zero():
+    stats = IOStats()
+    assert stats.seeks == 0
+    assert stats.total_bytes == 0
+    assert stats.busy_seconds == 0.0
+
+
+def test_snapshot_is_independent():
+    stats = IOStats(seeks=1, bytes_read=100)
+    snap = stats.snapshot()
+    stats.seeks += 5
+    stats.bytes_read += 50
+    assert snap.seeks == 1
+    assert snap.bytes_read == 100
+
+
+def test_delta_subtracts_counters():
+    earlier = IOStats(seeks=2, read_ops=3, bytes_read=100, busy_seconds=0.5)
+    later = IOStats(seeks=7, read_ops=10, bytes_read=450, busy_seconds=2.0)
+    delta = later.delta(earlier)
+    assert delta.seeks == 5
+    assert delta.read_ops == 7
+    assert delta.bytes_read == 350
+    assert delta.busy_seconds == pytest.approx(1.5)
+
+
+def test_total_bytes_sums_both_directions():
+    stats = IOStats(bytes_read=10, bytes_written=30)
+    assert stats.total_bytes == 40
+
+
+def test_addition_combines_counters():
+    a = IOStats(seeks=1, write_ops=2, bytes_written=10)
+    b = IOStats(seeks=3, write_ops=4, bytes_written=20)
+    c = a + b
+    assert c.seeks == 4
+    assert c.write_ops == 6
+    assert c.bytes_written == 30

@@ -1,0 +1,97 @@
+"""Tests for operation-trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro.baselines import BLSMEngine
+from repro.core import BLSMOptions
+from repro.ycsb import WorkloadSpec
+from repro.ycsb.generator import Operation, OpKind
+from repro.ycsb.trace import (
+    read_trace,
+    record_workload_trace,
+    replay_trace,
+    write_trace,
+)
+
+
+def spec():
+    return WorkloadSpec(
+        record_count=100,
+        operation_count=400,
+        read_proportion=0.4,
+        blind_write_proportion=0.3,
+        insert_proportion=0.1,
+        scan_proportion=0.1,
+        delete_proportion=0.1,
+        value_bytes=50,
+    )
+
+
+def test_roundtrip_preserves_operations():
+    ops = [
+        Operation(OpKind.READ, b"key\x00\xff"),
+        Operation(OpKind.BLIND_WRITE, b"k", b"value\x01"),
+        Operation(OpKind.SCAN, b"start", scan_length=7),
+        Operation(OpKind.DELETE, b"gone"),
+        Operation(OpKind.INSERT, b"new", b""),
+    ]
+    buffer = io.StringIO()
+    assert write_trace(ops, buffer) == 5
+    buffer.seek(0)
+    assert list(read_trace(buffer)) == ops
+
+
+def test_record_and_replay_matches_live_run():
+    buffer = io.StringIO()
+    count = record_workload_trace(spec(), buffer, seed=3)
+    assert count == 400
+
+    def engine():
+        e = BLSMEngine(BLSMOptions(c0_bytes=16 * 1024, buffer_pool_pages=16))
+        from repro.ycsb import load_phase
+
+        load_phase(e, spec(), seed=3)
+        return e
+
+    live = engine()
+    from repro.ycsb import run_workload
+
+    live_result = run_workload(live, spec(), seed=3)
+    replayed = engine()
+    buffer.seek(0)
+    ops, stats = replay_trace(replayed, buffer)
+    assert ops == 400
+    # Identical operation streams produce identical end states...
+    assert list(replayed.scan(b"")) == list(live.scan(b""))
+    # ... and identical total device time.
+    assert stats.count == live_result.all_latencies().count
+
+
+def test_blank_lines_and_comments_skipped():
+    buffer = io.StringIO("# a comment\n\nread\t6b\n")
+    ops = list(read_trace(buffer))
+    assert ops == [Operation(OpKind.READ, b"k")]
+
+
+def test_malformed_lines_rejected():
+    with pytest.raises(ValueError):
+        list(read_trace(io.StringIO("bogus-kind\t6b\n")))
+    with pytest.raises(ValueError):
+        list(read_trace(io.StringIO("read\tzz-not-hex\n")))
+    with pytest.raises(ValueError):
+        list(read_trace(io.StringIO("blind_write\t6b\n")))  # no value
+    with pytest.raises(ValueError):
+        list(read_trace(io.StringIO("scan\t6b\n")))  # no length
+
+
+def test_trace_file_roundtrip(tmp_path):
+    path = tmp_path / "workload.trace"
+    with open(path, "w") as handle:
+        record_workload_trace(spec(), handle, seed=9)
+    engine = BLSMEngine(BLSMOptions(c0_bytes=16 * 1024))
+    with open(path) as handle:
+        ops, stats = replay_trace(engine, handle)
+    assert ops == 400
+    assert stats.count == 400

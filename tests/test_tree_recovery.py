@@ -1,0 +1,200 @@
+"""Crash-recovery tests for the bLSM tree (Section 4.4.2)."""
+
+import random
+
+from repro.core import BLSM, BLSMOptions
+from repro.storage import DurabilityMode
+
+
+def options(**overrides):
+    defaults = dict(
+        c0_bytes=32 * 1024,
+        buffer_pool_pages=64,
+        durability=DurabilityMode.SYNC,
+    )
+    defaults.update(overrides)
+    return BLSMOptions(**defaults)
+
+
+def test_recover_empty_tree():
+    opts = options()
+    tree = BLSM(opts)
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered.get(b"anything") is None
+
+
+def test_recover_memtable_from_logical_log():
+    opts = options()
+    tree = BLSM(opts)
+    tree.put(b"a", b"1")
+    tree.put(b"b", b"2")
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered.get(b"a") == b"1"
+    assert recovered.get(b"b") == b"2"
+
+
+def test_recover_on_disk_components():
+    opts = options()
+    tree = BLSM(opts)
+    rng = random.Random(4)
+    model = {}
+    for i in range(3000):
+        key = b"key%05d" % rng.randrange(2000)
+        value = b"v%05d" % i
+        tree.put(key, value)
+        model[key] = value
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    mismatches = sum(1 for k, v in model.items() if recovered.get(k) != v)
+    assert mismatches == 0
+
+
+def test_recovered_scan_matches_pre_crash():
+    opts = options()
+    tree = BLSM(opts)
+    model = {}
+    for i in range(1500):
+        key = b"key%05d" % (i % 800)
+        value = b"v%d" % i
+        tree.put(key, value)
+        model[key] = value
+    expected = sorted(model.items())
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert list(recovered.scan(b"")) == expected
+
+
+def test_recover_deletes_and_deltas():
+    opts = options()
+    tree = BLSM(opts)
+    tree.put(b"gone", b"x")
+    tree.put(b"kept", b"base")
+    tree.drain()
+    tree.delete(b"gone")
+    tree.apply_delta(b"kept", b"+d")
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered.get(b"gone") is None
+    assert recovered.get(b"kept") == b"base+d"
+
+
+def test_crash_mid_merge_recovers_consistent_state():
+    opts = options()
+    tree = BLSM(opts)
+    model = {}
+    for i in range(1200):
+        key = b"key%05d" % (i % 700)
+        value = b"v%d" % i
+        tree.put(key, value)
+        model[key] = value
+    # Start a merge pass but do not finish it: its extents are orphans.
+    tree.step_m01(2000)
+    assert tree._m01 is not None
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    mismatches = sum(1 for k, v in model.items() if recovered.get(k) != v)
+    assert mismatches == 0
+
+
+def test_crash_mid_merge_frees_orphan_extents():
+    opts = options()
+    tree = BLSM(opts)
+    for i in range(1200):
+        tree.put(b"key%05d" % (i % 700), bytes(32))
+    tree.step_m01(2000)
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    live_extents = set()
+    for component in (recovered._c1, recovered._c1_prime, recovered._c2):
+        if component is not None:
+            live_extents.update(component.extents)
+    assert set(stasis.regions.allocated_extents) == live_extents
+
+
+def test_degraded_durability_loses_recent_writes_only():
+    # DurabilityMode.NONE (Section 4.4.2): updates before the last
+    # completed merge survive; recent ones may be lost.
+    opts = options(durability=DurabilityMode.NONE)
+    tree = BLSM(opts)
+    tree.put(b"old", b"1")
+    tree.drain()  # 'old' reaches a durable component
+    tree.put(b"recent", b"2")  # memtable only
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered.get(b"old") == b"1"
+    assert recovered.get(b"recent") is None
+
+
+def test_async_mode_loses_unforced_tail():
+    opts = options(durability=DurabilityMode.ASYNC)
+    tree = BLSM(opts)
+    tree.put(b"a", b"1")  # sits in the group-commit buffer
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered.get(b"a") is None
+
+
+def test_flush_log_makes_async_writes_durable():
+    opts = options(durability=DurabilityMode.ASYNC)
+    tree = BLSM(opts)
+    tree.put(b"a", b"1")
+    tree.flush_log()
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered.get(b"a") == b"1"
+
+
+def test_recovery_charges_bloom_rebuild_io():
+    # Bloom filters are not persisted (Section 4.4.3); recovery must
+    # re-scan components to rebuild them, a real cost.
+    opts = options()
+    tree = BLSM(opts)
+    for i in range(2000):
+        tree.put(b"key%05d" % i, bytes(32))
+    tree.drain()
+    stasis = tree.stasis
+    stasis.crash()
+    read_before = stasis.data_disk.stats.bytes_read
+    recovered = BLSM.recover(stasis, opts)
+    assert stasis.data_disk.stats.bytes_read > read_before
+    assert recovered._c1 is None or recovered._c1.bloom is not None
+
+
+def test_recovered_tree_keeps_serving_writes():
+    opts = options()
+    tree = BLSM(opts)
+    for i in range(2000):
+        tree.put(b"key%05d" % (i % 900), b"v%d" % i)
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    for i in range(2000):
+        recovered.put(b"new%05d" % (i % 900), b"w%d" % i)
+    assert recovered.get(b"new00000") is not None
+    recovered.drain()
+    assert recovered.get(b"new00000") is not None
+
+
+def test_seqnos_continue_after_recovery():
+    opts = options()
+    tree = BLSM(opts)
+    tree.put(b"a", b"1")
+    seqno_before = tree._next_seqno
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, opts)
+    assert recovered._next_seqno >= seqno_before
+    recovered.put(b"a", b"2")
+    assert recovered.get(b"a") == b"2"

@@ -1,0 +1,87 @@
+"""Unit tests for workload specifications."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ycsb import WorkloadSpec, standard_workload
+from repro.ycsb.workload import write_ratio_workload
+
+
+def test_valid_spec():
+    spec = WorkloadSpec(
+        record_count=100,
+        operation_count=100,
+        read_proportion=0.6,
+        blind_write_proportion=0.4,
+    )
+    assert spec.write_fraction == pytest.approx(0.4)
+
+
+def test_proportions_must_sum_to_one():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(
+            record_count=1, operation_count=1, read_proportion=0.5
+        )
+
+
+def test_load_only_spec_skips_proportion_check():
+    spec = WorkloadSpec(record_count=100, operation_count=0)
+    assert spec.write_fraction == 0.0
+
+
+def test_scan_length_validation():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(
+            record_count=1,
+            operation_count=1,
+            scan_proportion=1.0,
+            scan_length_min=5,
+            scan_length_max=2,
+        )
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(record_count=-1, operation_count=0)
+
+
+def test_value_bytes_positive():
+    with pytest.raises(WorkloadError):
+        WorkloadSpec(record_count=1, operation_count=0, value_bytes=0)
+
+
+@pytest.mark.parametrize("name", ["a", "b", "c", "d", "e", "f"])
+def test_standard_workloads_are_valid(name):
+    spec = standard_workload(name, record_count=10, operation_count=10)
+    assert spec.record_count == 10
+
+
+def test_standard_workload_a_mix():
+    spec = standard_workload("a", 10, 10)
+    assert spec.read_proportion == 0.5
+    assert spec.update_proportion == 0.5
+    assert spec.request_distribution == "zipfian"
+
+
+def test_standard_workload_e_scans():
+    spec = standard_workload("e", 10, 10)
+    assert spec.scan_proportion == 0.95
+    assert spec.scan_length_max == 100
+
+
+def test_unknown_standard_workload():
+    with pytest.raises(WorkloadError):
+        standard_workload("z", 10, 10)
+
+
+def test_write_ratio_workload_blind_and_rmw():
+    blind = write_ratio_workload(0.3, 10, 10, blind=True)
+    assert blind.blind_write_proportion == pytest.approx(0.3)
+    assert blind.read_proportion == pytest.approx(0.7)
+    rmw = write_ratio_workload(0.3, 10, 10, blind=False)
+    assert rmw.update_proportion == pytest.approx(0.3)
+
+
+def test_write_ratio_bounds():
+    with pytest.raises(WorkloadError):
+        write_ratio_workload(1.5, 10, 10, blind=True)
