@@ -33,10 +33,11 @@ def _run(persist: bool):
     engine.tree.drain()
     stasis = engine.tree.stasis
     stasis.crash()
-    read_before = stasis.data_disk.stats.bytes_read
+    read_metric = f"disk.{stasis.data_disk.name}.bytes_read"
+    read_before = stasis.runtime.metrics.value(read_metric)
     clock_before = stasis.clock.now
     recovered = BLSM.recover(stasis, engine.tree.options)
-    recovery_read = stasis.data_disk.stats.bytes_read - read_before
+    recovery_read = stasis.runtime.metrics.value(read_metric) - read_before
     recovery_seconds = stasis.clock.now - clock_before
     assert recovered.get(b"__absent__") is None  # filters functional
     return {

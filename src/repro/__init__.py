@@ -10,6 +10,8 @@ The package provides:
 * :mod:`repro.ycsb` — a YCSB-style workload generator and runner;
 * :mod:`repro.sim` — the simulated devices and virtual clock everything
   runs on;
+* :mod:`repro.obs` — the observability core every engine reports
+  through (metrics registry, trace recorder, engine runtime);
 * :mod:`repro.analysis` — the paper's analytical models (read fanout,
   Figure 2, Table 2).
 
@@ -32,6 +34,7 @@ from repro.baselines import (
     PartitionedBLSMEngine,
 )
 from repro.core import BLSM, BLSMOptions, PartitionedBLSM
+from repro.obs import EngineRuntime, MetricsRegistry, TraceRecorder
 from repro.sim import DiskModel, IOStats, SimDisk, VirtualClock
 from repro.storage import DurabilityMode, EvictionPolicy, Stasis
 
@@ -45,13 +48,16 @@ __all__ = [
     "BTreeEngine",
     "DiskModel",
     "DurabilityMode",
+    "EngineRuntime",
     "EvictionPolicy",
     "IOStats",
     "KVEngine",
     "LevelDBEngine",
+    "MetricsRegistry",
     "PartitionedBLSM",
     "PartitionedBLSMEngine",
     "SimDisk",
     "Stasis",
+    "TraceRecorder",
     "VirtualClock",
 ]

@@ -31,6 +31,7 @@ from typing import Any, Iterator
 
 from repro.baselines.interface import KVEngine
 from repro.errors import EngineClosedError
+from repro.obs.runtime import EngineRuntime
 from repro.records import RECORD_HEADER_BYTES, apply_delta
 from repro.sim.clock import VirtualClock
 from repro.sim.disk import DiskModel, SimDisk
@@ -54,8 +55,11 @@ class BitCaskEngine(KVEngine):
                 f"garbage_threshold must be in (0, 1), got {garbage_threshold}"
             )
         model = disk_model if disk_model is not None else DiskModel.hdd()
-        self._clock = VirtualClock()
-        self.disk = SimDisk(model, self._clock, name=f"{model.name}-log")
+        self._runtime = EngineRuntime()
+        self._clock = self._runtime.clock
+        self.disk = SimDisk(
+            model, self._clock, name=f"{model.name}-log", runtime=self._runtime
+        )
         self.garbage_threshold = garbage_threshold
         self._index: dict[bytes, tuple[int, int]] = {}  # key -> (off, len)
         self._values: dict[int, bytes] = {}  # offset -> payload

@@ -11,6 +11,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterator
 
+from repro.obs.runtime import EngineRuntime
+from repro.obs.trace import TraceEvent
 from repro.sim.clock import VirtualClock
 
 
@@ -23,6 +25,40 @@ class KVEngine(ABC):
     @abstractmethod
     def clock(self) -> VirtualClock:
         """The virtual clock all of this engine's I/O advances."""
+
+    @property
+    def runtime(self) -> EngineRuntime | None:
+        """The engine's observability runtime (clock + metrics + trace).
+
+        The default resolves the :class:`EngineRuntime` every engine in
+        this repository already owns — directly (``self._runtime``),
+        through its storage substrate (``self.stasis``), or through a
+        wrapped tree (``self.tree.stasis``) — so concrete engines need
+        no per-engine plumbing.  An engine built some other way can
+        simply set ``self._runtime``.
+        """
+        runtime = getattr(self, "_runtime", None)
+        if runtime is not None:
+            return runtime
+        stasis = getattr(self, "stasis", None)
+        if stasis is None:
+            stasis = getattr(getattr(self, "tree", None), "stasis", None)
+        return stasis.runtime if stasis is not None else None
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot of every metric this engine's layers registered.
+
+        All engines report through the same :class:`MetricsRegistry`
+        API, so benchmarks compare engines by metric name instead of
+        reaching into per-layer counters.
+        """
+        runtime = self.runtime
+        return runtime.metrics.snapshot() if runtime is not None else {}
+
+    def trace(self, etype: str | None = None) -> list[TraceEvent]:
+        """Retained trace events (optionally filtered by event type)."""
+        runtime = self.runtime
+        return runtime.trace.events(etype) if runtime is not None else []
 
     @abstractmethod
     def get(self, key: bytes) -> bytes | None:

@@ -54,6 +54,7 @@ def _engine(
     cache_pages: int,
     durability: str = "async",
     compression: float = 1.0,
+    scheduler: str = "spring_gear",
 ) -> KVEngine:
     from repro.storage import DurabilityMode
 
@@ -66,6 +67,7 @@ def _engine(
                 disk_model=disk,
                 durability=mode,
                 compression_ratio=compression,
+                scheduler=scheduler,
             )
         )
     if name == "blsm-part":
@@ -76,6 +78,7 @@ def _engine(
                 disk_model=disk,
                 durability=mode,
                 compression_ratio=compression,
+                scheduler=scheduler,
             )
         )
     if name == "btree":
@@ -127,6 +130,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     engine = _engine(
         args.engine, disk, args.c0_bytes, args.cache_pages,
         durability=args.durability, compression=args.compression,
+        scheduler=args.scheduler,
     )
     spec = _workload_spec(args)
     print(
@@ -248,6 +252,43 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a workload and dump or summarize its observability trace."""
+    from repro.obs import format_summary
+
+    disk = _disk(args.disk)
+    engine = _engine(
+        args.engine, disk, args.c0_bytes, args.cache_pages,
+        durability=args.durability, compression=args.compression,
+        scheduler=args.scheduler,
+    )
+    spec = _workload_spec(args)
+    load_phase(engine, spec, seed=args.seed)
+    if spec.operation_count > 0:
+        run_workload(engine, spec, seed=args.seed + 1)
+    runtime = engine.runtime
+    if runtime is None:
+        print(f"{engine.name} exposes no observability runtime")
+        engine.close()
+        return 1
+    events = runtime.trace.events()
+    if args.dump:
+        if args.last > 0:
+            events = events[-args.last:]
+        for event in events:
+            print(event.format())
+    else:
+        for line in format_summary(events):
+            print(line)
+        if runtime.trace.dropped:
+            print(
+                f"(ring dropped {runtime.trace.dropped} older events; "
+                f"capacity {runtime.trace.capacity})"
+            )
+    engine.close()
+    return 0
+
+
 def _cmd_cache_table(args: argparse.Namespace) -> int:
     print(
         f"{'Access Frequency':18s}"
@@ -353,6 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeseries", type=float, default=0.0, metavar="WINDOW_S",
         help="print a windowed throughput sparkline (window in seconds)",
     )
+    workload.add_argument(
+        "--scheduler", choices=("naive", "gear", "spring_gear"),
+        default="spring_gear",
+        help="merge scheduler for the bLSM engines",
+    )
     workload.set_defaults(fn=_cmd_workload)
 
     compare = sub.add_parser(
@@ -395,6 +441,24 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--c0-bytes", type=int, default=512 * 1024)
     replay.add_argument("--cache-pages", type=int, default=64)
     replay.set_defaults(fn=_cmd_replay)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload and summarize its observability event stream",
+    )
+    for source in workload._actions:
+        if source.dest in ("help", "timeseries"):
+            continue
+        trace._add_action(source)
+    trace.add_argument(
+        "--dump", action="store_true",
+        help="print raw events instead of the summary",
+    )
+    trace.add_argument(
+        "--last", type=int, default=0, metavar="N",
+        help="with --dump, print only the newest N events",
+    )
+    trace.set_defaults(fn=_cmd_trace)
 
     selfcheck = sub.add_parser(
         "selfcheck", help="model-check every engine (fast release gate)"

@@ -119,7 +119,26 @@ class PartitionedBLSM:
         self._next_tree_id = 1
         self._merge_epoch = 0
         self._closed = False
+        self._init_obs()
         self.stasis.commit_manifest(self._manifest())
+
+    def _init_obs(self) -> None:
+        """Bind this tree's instrumentation to the runtime's registry."""
+        self.runtime = self.stasis.runtime
+        metrics = self.runtime.metrics
+        self._gauge_fill = metrics.gauge("memtable.fill")
+        self._gauge_pressure = metrics.gauge("scheduler.pressure")
+        self._ctr_memtable_full = metrics.counter("memtable.full_events")
+        self._ctr_stalls = metrics.counter("writes.stalls")
+        self._hist_stall = metrics.histogram("writes.stall_seconds")
+        self._merge_obs = {
+            level: (
+                metrics.counter(f"merge.{level}.passes"),
+                metrics.counter(f"merge.{level}.bytes"),
+                metrics.counter(f"merge.{level}.seconds"),
+            )
+            for level in ("c0c1", "c1c2")
+        }
 
     # ------------------------------------------------------------------
     # Write API
@@ -250,20 +269,33 @@ class PartitionedBLSM:
     def _on_write(self, nbytes: int) -> None:
         opts = self.options
         fill = self._memtable.fill_fraction
+        self._gauge_fill.set(fill)
         if fill <= opts.low_water:
+            self._gauge_pressure.set(0.0)
             return
         pressure = min(
             1.0, (fill - opts.low_water) / (opts.high_water - opts.low_water)
         )
+        self._gauge_pressure.set(pressure)
         amplification = self._write_amplification_estimate()
         budget = min(
             opts.max_tick_bytes, int(2.0 * pressure * amplification * nbytes) + 1
         )
         self.merge_step(budget)
         if self._memtable.fill_fraction >= 1.0:
-            while self._memtable.fill_fraction > opts.high_water:
-                if self.merge_step(opts.max_tick_bytes) == 0:
-                    break
+            self._ctr_memtable_full.inc()
+            self.runtime.trace.emit(
+                "memtable_full",
+                fill=self._memtable.fill_fraction,
+                c0_bytes=self._memtable.nbytes,
+            )
+            started = self.stasis.clock.now
+            with self.runtime.trace.span("stall", cause="merge_backpressure"):
+                while self._memtable.fill_fraction > opts.high_water:
+                    if self.merge_step(opts.max_tick_bytes) == 0:
+                        break
+            self._ctr_stalls.inc()
+            self._hist_stall.observe(self.stasis.clock.now - started)
 
     def merge_step(self, budget_bytes: int) -> int:
         """Advance the active merge, starting the best one when idle."""
@@ -275,7 +307,21 @@ class PartitionedBLSM:
         if active is None:
             return 0
         partition, process = active
+        level = "c1c2" if process is partition.m12 else "c0c1"
+        started = self.stasis.clock.now
         worked = process.step(budget_bytes)
+        if worked:
+            _passes, ctr_bytes, ctr_seconds = self._merge_obs[level]
+            seconds = self.stasis.clock.now - started
+            ctr_bytes.inc(worked)
+            ctr_seconds.inc(seconds)
+            self.runtime.trace.emit(
+                "merge_progress",
+                level=level,
+                worked=worked,
+                seconds=seconds,
+                inprogress=process.inprogress,
+            )
         if process.done:
             self._finish_merge(partition, process)
         return worked
@@ -415,6 +461,13 @@ class PartitionedBLSM:
             tree_id_source=self._take_tree_id if bottom else None,
             compression_ratio=self.options.compression_ratio,
         )
+        self._merge_obs["c0c1"][0].inc()
+        self.runtime.trace.emit(
+            "merge_start",
+            level="c0c1",
+            input_bytes=partition.m01.input_bytes,
+            partition=partition.lo.hex(),
+        )
         return partition.m01
 
     def _start_m12(self, partition: Partition) -> MergeProcess:
@@ -439,10 +492,23 @@ class PartitionedBLSM:
             tree_id_source=self._take_tree_id,
             compression_ratio=self.options.compression_ratio,
         )
+        self._merge_obs["c1c2"][0].inc()
+        self.runtime.trace.emit(
+            "merge_start",
+            level="c1c2",
+            input_bytes=partition.m12.input_bytes,
+            partition=partition.lo.hex(),
+        )
         return partition.m12
 
     def _finish_merge(self, partition: Partition, process: MergeProcess) -> None:
         self._merge_epoch += 1  # paused scans must re-resolve components
+        self.runtime.trace.emit(
+            "merge_finish",
+            level="c0c1" if process is partition.m01 else "c1c2",
+            output_bytes=sum(t.nbytes for t in process.outputs),
+            partition=partition.lo.hex(),
+        )
         if process is partition.m01:
             old_c1 = partition.c1
             partition.m01 = None
@@ -610,6 +676,7 @@ class PartitionedBLSM:
         tree._memtable = MemTable(tree.options.c0_bytes, seed=tree.options.seed)
         tree._merge_epoch = 0
         tree._closed = False
+        tree._init_obs()
         manifest = stasis.recover_manifest()
         tree._next_seqno = manifest["next_seqno"]
         tree._next_tree_id = manifest["next_tree_id"]

@@ -51,6 +51,11 @@ class MergeScheduler(ABC):
             raise RuntimeError("scheduler is not attached to a tree")
         return self._tree
 
+    @property
+    def runtime(self):
+        """The attached tree's observability runtime."""
+        return self.tree.runtime
+
     @abstractmethod
     def on_write(self, nbytes: int) -> None:
         """Schedule merge work after an application write of ``nbytes``."""
@@ -82,17 +87,26 @@ class GearScheduler(MergeScheduler):
     def __init__(self, max_tick_bytes: int = 512 * 1024) -> None:
         super().__init__()
         self.max_tick_bytes = max_tick_bytes
+        self._gauges: tuple = ()
 
     def on_write(self, nbytes: int) -> None:
         tree = self.tree
         budget = self.max_tick_bytes
+        if not self._gauges:
+            metrics = self.runtime.metrics
+            self._gauges = (
+                metrics.gauge("scheduler.deficit01"),
+                metrics.gauge("scheduler.deficit12"),
+            )
         # Gear 1: keep the C0:C1 merge at C0's fill fraction.
         deficit01 = tree.c0_fill_fraction - tree.m01_inprogress
+        self._gauges[0].set(max(0.0, deficit01))
         if deficit01 > 0:
             work = min(budget, int(deficit01 * tree.m01_input_bytes) + 1)
             budget -= tree.step_m01(work)
         # Gear 2: keep the C1:C2 merge at the C0:C1 merge's outprogress.
         deficit12 = tree.m01_outprogress - tree.m12_inprogress
+        self._gauges[1].set(max(0.0, deficit12))
         if deficit12 > 0 and budget > 0:
             work = min(budget, int(deficit12 * tree.m12_input_bytes) + 1)
             tree.step_m12(work)
@@ -125,15 +139,30 @@ class SpringGearScheduler(MergeScheduler):
         self.low_water = low_water
         self.high_water = high_water
         self.max_tick_bytes = max_tick_bytes
+        self._engaged = False
+
+    def _set_pressure(self, pressure: float) -> None:
+        """Record spring pressure; emit an event on each transition."""
+        runtime = self.runtime
+        runtime.metrics.gauge("scheduler.pressure").set(pressure)
+        if pressure > 0.0 and not self._engaged:
+            self._engaged = True
+            runtime.trace.emit("backpressure_engaged", pressure=pressure)
+        elif pressure == 0.0 and self._engaged:
+            self._engaged = False
+            runtime.trace.emit("backpressure_released")
 
     def on_write(self, nbytes: int) -> None:
         tree = self.tree
         fill = tree.c0_fill_fraction
         if fill <= self.low_water:
-            return  # spring unwound: pause merges, let C0 absorb writes
+            # spring unwound: pause merges, let C0 absorb writes
+            self._set_pressure(0.0)
+            return
         pressure = min(
             1.0, (fill - self.low_water) / (self.high_water - self.low_water)
         )
+        self._set_pressure(pressure)
         # Steady state: each written byte must eventually push an
         # amplified volume of merge I/O.  Scale that volume by the spring
         # pressure, with headroom (the 2x) so the merge can catch up after

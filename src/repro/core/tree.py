@@ -85,11 +85,45 @@ class BLSM:
         self._r = opts.min_r
         self._merge_epoch = 0
         self._closed = False
+        self._init_obs()
         self.scheduler = make_scheduler(
             opts.scheduler, opts.low_water, opts.high_water, opts.max_tick_bytes
         )
         self.scheduler.attach(self)
         self.stasis.commit_manifest(self._manifest())
+
+    def _init_obs(self) -> None:
+        """Bind this tree's instrumentation to the runtime's registry."""
+        self.runtime = self.stasis.runtime
+        metrics = self.runtime.metrics
+        self._ctr_rotations = metrics.counter("memtable.rotations")
+        self._ctr_memtable_full = metrics.counter("memtable.full_events")
+        self._gauge_fill = metrics.gauge("memtable.fill")
+        self._ctr_stalls = metrics.counter("writes.stalls")
+        self._hist_stall = metrics.histogram("writes.stall_seconds")
+        self._merge_obs = {
+            level: (
+                metrics.counter(f"merge.{level}.passes"),
+                metrics.counter(f"merge.{level}.bytes"),
+                metrics.counter(f"merge.{level}.seconds"),
+            )
+            for level in ("c0c1", "c1c2")
+        }
+
+    def _note_merge_progress(
+        self, level: str, worked: int, started: float, inprogress: float
+    ) -> None:
+        _passes, ctr_bytes, ctr_seconds = self._merge_obs[level]
+        seconds = self.stasis.clock.now - started
+        ctr_bytes.inc(worked)
+        ctr_seconds.inc(seconds)
+        self.runtime.trace.emit(
+            "merge_progress",
+            level=level,
+            worked=worked,
+            seconds=seconds,
+            inprogress=inprogress,
+        )
 
     # ------------------------------------------------------------------
     # Public write API
@@ -340,7 +374,12 @@ class BLSM:
         if self._m01 is None and not self._start_m01():
             return 0
         assert self._m01 is not None
+        started = self.stasis.clock.now
         worked = self._m01.step(budget_bytes)
+        if worked:
+            self._note_merge_progress(
+                "c0c1", worked, started, self._m01.inprogress
+            )
         if self._m01.done:
             self._finish_m01()
         return worked
@@ -352,7 +391,12 @@ class BLSM:
         if self._m12 is None and not self._start_m12():
             return 0
         assert self._m12 is not None
+        started = self.stasis.clock.now
         worked = self._m12.step(budget_bytes)
+        if worked:
+            self._note_merge_progress(
+                "c1c2", worked, started, self._m12.inprogress
+            )
         if self._m12.done:
             self._finish_m12()
         return worked
@@ -371,10 +415,22 @@ class BLSM:
         if self.options.extra_components:
             self._flush_extra()
             return
-        while self._c0_overfull(target_fill):
-            if self._relieve_c0(chunk):
-                continue
-            break  # nothing can make progress
+        if not self._c0_overfull(target_fill):
+            return
+        self._ctr_memtable_full.inc()
+        self.runtime.trace.emit(
+            "memtable_full",
+            fill=self.c0_fill_fraction,
+            c0_bytes=self._memtable.nbytes,
+        )
+        started = self.stasis.clock.now
+        with self.runtime.trace.span("stall", cause="merge_backpressure"):
+            while self._c0_overfull(target_fill):
+                if self._relieve_c0(chunk):
+                    continue
+                break  # nothing can make progress
+        self._ctr_stalls.inc()
+        self._hist_stall.observe(self.stasis.clock.now - started)
 
     def _flush_extra(self) -> None:
         """Flush the whole memtable to an extra overlapping component."""
@@ -396,7 +452,12 @@ class BLSM:
         table = builder.finish()
         if table is not None:
             self._extras.insert(0, table)  # newest first
+        flushed = self._memtable.nbytes
         self._memtable = MemTable(self._c0_capacity, seed=self.options.seed)
+        self._ctr_rotations.inc()
+        self.runtime.trace.emit(
+            "memtable_rotate", kind="extra_flush", frozen_bytes=flushed
+        )
         self._merge_epoch += 1  # paused scans re-resolve (memtable swap)
         self.stasis.commit_manifest(self._manifest())
         self._truncate_logical_log()
@@ -491,6 +552,7 @@ class BLSM:
         tree._promotion_pending = False
         tree._merge_epoch = 0
         tree._closed = False
+        tree._init_obs()
         tree.scheduler = make_scheduler(
             tree.options.scheduler,
             tree.options.low_water,
@@ -560,6 +622,7 @@ class BLSM:
         value = record.value if op != _OP_DELETE else None
         self.stasis.logical_log.log(record.seqno, op, record.key, value)
         self._memtable.put(record)
+        self._gauge_fill.set(self._memtable.fill_fraction)
         if not self.options.snowshovel and self._memtable.fill_fraction >= 1.0:
             if self._frozen is None:
                 self._freeze_memtable()
@@ -580,6 +643,10 @@ class BLSM:
     def _freeze_memtable(self) -> None:
         self._frozen = self._memtable
         self._memtable = MemTable(self._c0_capacity, seed=self.options.seed)
+        self._ctr_rotations.inc()
+        self.runtime.trace.emit(
+            "memtable_rotate", kind="freeze", frozen_bytes=self._frozen.nbytes
+        )
 
     def _expected_run_bytes(self) -> int:
         """How much C0 one merge pass is expected to consume."""
@@ -646,6 +713,10 @@ class BLSM:
             merge_chunk_bytes=self.options.merge_chunk_bytes,
             compression_ratio=self.options.compression_ratio,
         )
+        self._merge_obs["c0c1"][0].inc()
+        self.runtime.trace.emit(
+            "merge_start", level="c0c1", input_bytes=self._m01.input_bytes
+        )
         return True
 
     def _start_m12(self) -> bool:
@@ -672,12 +743,21 @@ class BLSM:
             merge_chunk_bytes=self.options.merge_chunk_bytes,
             compression_ratio=self.options.compression_ratio,
         )
+        self._merge_obs["c1c2"][0].inc()
+        self.runtime.trace.emit(
+            "merge_start", level="c1c2", input_bytes=self._m12.input_bytes
+        )
         return True
 
     def _finish_m01(self) -> None:
         assert self._m01 is not None and self._m01.done
         old_c1 = self._c1
         self._c1 = self._m01.output
+        self.runtime.trace.emit(
+            "merge_finish",
+            level="c0c1",
+            output_bytes=self._c1.nbytes if self._c1 is not None else 0,
+        )
         self._m01 = None
         consumed_extra = self._m01_extra
         self._m01_extra = None
@@ -704,6 +784,11 @@ class BLSM:
         old_c2 = self._c2
         old_c1_prime = self._c1_prime
         self._c2 = self._m12.output
+        self.runtime.trace.emit(
+            "merge_finish",
+            level="c1c2",
+            output_bytes=self._c2.nbytes if self._c2 is not None else 0,
+        )
         self._c1_prime = None
         self._m12 = None
         self._recompute_r()

@@ -1,0 +1,38 @@
+"""Observability core: metrics registry, trace recorder, engine runtime.
+
+One instrumentation spine for the whole repository (see
+``docs/observability.md``): every layer — simulated devices, buffer
+manager, merges, schedulers, trees, the YCSB runner — reports through
+the :class:`MetricsRegistry` and :class:`TraceRecorder` owned by its
+engine's :class:`EngineRuntime`.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import EngineRuntime
+from repro.obs.summary import (
+    StallInterval,
+    events_within,
+    format_summary,
+    merge_seconds_by_level,
+    reconstruct_stalls,
+    stall_causes,
+    summarize_trace,
+)
+from repro.obs.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "EngineRuntime",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StallInterval",
+    "TraceEvent",
+    "TraceRecorder",
+    "events_within",
+    "format_summary",
+    "merge_seconds_by_level",
+    "reconstruct_stalls",
+    "stall_causes",
+    "summarize_trace",
+]

@@ -1,0 +1,216 @@
+"""Metric primitives and the registry every subsystem reports through.
+
+The paper diagnoses latency problems by correlating state across layers
+(memtable fill, merge progress, device busy time — Section 4, Figure 7);
+"On Performance Stability in LSM-based Storage Systems" (Luo & Carey)
+makes the same point for LSM stalls generally.  A single
+:class:`MetricsRegistry` per engine is the repository's answer: every
+layer registers named counters, gauges and histograms against it, so any
+benchmark can snapshot one object instead of fishing state out of
+``SimDisk``, the buffer manager and the scheduler separately.
+
+Metric names are dotted paths (``disk.hdd-data.seeks``,
+``buffer.misses``, ``merge.c0c1.seconds``); the registry is flat — the
+dots are a naming convention, not a hierarchy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+
+class Counter:
+    """A monotonically increasing value (events, bytes, seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value!r})"
+
+
+class Gauge:
+    """An instantaneous value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value!r})"
+
+
+class Histogram:
+    """Geometric-bucket histogram for virtual-time durations.
+
+    Fixed memory regardless of sample count (HDR-histogram style): each
+    bucket spans a constant ratio, so percentile estimates carry bounded
+    relative error.  Observations are in virtual seconds.
+    """
+
+    __slots__ = (
+        "name", "_min", "_ratio", "_log_ratio", "_counts",
+        "count", "sum", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        min_value: float = 1e-7,
+        max_value: float = 3600.0,
+        buckets_per_decade: int = 20,
+    ) -> None:
+        if not 0 < min_value < max_value:
+            raise ValueError("require 0 < min_value < max_value")
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.name = name
+        self._min = min_value
+        self._ratio = 10.0 ** (1.0 / buckets_per_decade)
+        self._log_ratio = math.log(self._ratio)
+        span = math.log(max_value / min_value)
+        self._counts = [0] * (int(math.ceil(span / self._log_ratio)) + 2)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        self._counts[self._bucket(value)] += 1
+
+    def _bucket(self, value: float) -> int:
+        if value <= self._min:
+            return 0
+        index = int(math.log(value / self._min) / self._log_ratio) + 1
+        return min(index, len(self._counts) - 1)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (upper bound of its bucket)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index == len(self._counts) - 1:
+                    return self.max  # overflow bucket: report observed
+                upper = self._min * self._ratio ** index if index else self._min
+                return min(upper, self.max)
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Named metrics shared by every layer of one engine.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    caller defines the metric, later callers (and readers) receive the
+    same object.  Asking for an existing name as a different kind is an
+    error — it means two subsystems disagree about what the name is.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, **kwargs: Any) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a Histogram"
+            )
+        return metric
+
+    def _get_or_create(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """Look a metric up without creating it."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter or gauge (``default`` if absent)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a Histogram; use get()")
+        return metric.value
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self, prefix: str = "") -> list[str]:
+        """Registered metric names, optionally filtered by prefix."""
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time view: scalars for counters/gauges, summary
+        dicts for histograms.  Detached from the live metrics."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"

@@ -1,0 +1,56 @@
+"""The one context object every layer of an engine shares.
+
+An :class:`EngineRuntime` bundles the virtual clock, the metrics
+registry, the trace recorder and the set of simulated devices.  It is
+created once (usually by :class:`~repro.storage.stasis.Stasis`) and
+passed down the stack, replacing the previous ad-hoc plumbing where each
+layer held its own counters and benchmarks reached into ``SimDisk.stats``
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, TraceRecorder
+from repro.sim.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.disk import SimDisk
+
+
+class EngineRuntime:
+    """Clock + disks + metrics registry + trace recorder for one engine."""
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        trace_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.metrics = MetricsRegistry()
+        self.trace = TraceRecorder(self.clock, capacity=trace_capacity)
+        self.disks: list["SimDisk"] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (convenience passthrough)."""
+        return self.clock.now
+
+    def register_disk(self, disk: "SimDisk") -> None:
+        """Called by each :class:`SimDisk` built against this runtime."""
+        self.disks.append(disk)
+
+    def disk_busy_seconds(self) -> float:
+        """Total device busy time across every registered disk."""
+        return sum(
+            self.metrics.value(f"disk.{disk.name}.busy_seconds")
+            for disk in self.disks
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineRuntime(t={self.clock.now:.6f}, "
+            f"disks={[d.name for d in self.disks]!r})"
+        )

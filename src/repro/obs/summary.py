@@ -1,0 +1,148 @@
+"""Post-run analysis of a trace: stall attribution and merge accounting.
+
+These helpers answer the question the event taxonomy exists for: *why
+did this write stall, and what was each level doing at the time?*  They
+operate on the plain event list a :class:`~repro.obs.trace.TraceRecorder`
+returns, so they work equally on a live engine or on events replayed
+from a dump.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.obs.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class StallInterval:
+    """One reconstructed write stall on the virtual timeline."""
+
+    start: float
+    end: float
+    cause: str
+    span_id: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t <= self.end
+
+
+def reconstruct_stalls(events: Iterable[TraceEvent]) -> list[StallInterval]:
+    """Pair ``stall_begin``/``stall_end`` events into intervals.
+
+    A ``stall_begin`` whose end fell off the ring (or vice versa) is
+    dropped — only fully witnessed stalls are returned.
+    """
+    open_begins: dict[Any, TraceEvent] = {}
+    stalls: list[StallInterval] = []
+    for event in events:
+        if event.etype == "stall_begin":
+            open_begins[event.get("span_id")] = event
+        elif event.etype == "stall_end":
+            begin = open_begins.pop(event.get("span_id"), None)
+            if begin is not None:
+                stalls.append(
+                    StallInterval(
+                        start=begin.time,
+                        end=event.time,
+                        cause=str(begin.get("cause", "unknown")),
+                        span_id=begin.get("span_id"),
+                    )
+                )
+    return stalls
+
+
+def events_within(
+    events: Iterable[TraceEvent], start: float, end: float
+) -> list[TraceEvent]:
+    """Events with ``start <= time <= end``, in emission order."""
+    return [e for e in events if start <= e.time <= end]
+
+
+def stall_causes(stalls: Iterable[StallInterval]) -> list[tuple[str, int, float]]:
+    """``(cause, count, total_seconds)`` rows, worst total first."""
+    counts: TallyCounter[str] = TallyCounter()
+    seconds: dict[str, float] = {}
+    for stall in stalls:
+        counts[stall.cause] += 1
+        seconds[stall.cause] = seconds.get(stall.cause, 0.0) + stall.duration
+    return sorted(
+        ((cause, counts[cause], seconds[cause]) for cause in counts),
+        key=lambda row: -row[2],
+    )
+
+
+def merge_seconds_by_level(events: Iterable[TraceEvent]) -> dict[str, float]:
+    """Virtual seconds of merge work per level (from progress events)."""
+    seconds: dict[str, float] = {}
+    for event in events:
+        if event.etype == "merge_progress":
+            level = str(event.get("level", "?"))
+            seconds[level] = seconds.get(level, 0.0) + float(
+                event.get("seconds", 0.0)
+            )
+    return seconds
+
+
+def summarize_trace(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """Aggregate a trace into the numbers the CLI prints.
+
+    Returns event counts by type, reconstructed stalls with their
+    causes, and per-level merge time.
+    """
+    events = list(events)
+    counts: TallyCounter[str] = TallyCounter(e.etype for e in events)
+    stalls = reconstruct_stalls(events)
+    return {
+        "events": len(events),
+        "counts_by_type": dict(sorted(counts.items())),
+        "stalls": stalls,
+        "stall_causes": stall_causes(stalls),
+        "merge_seconds": merge_seconds_by_level(events),
+        "span": (
+            (events[0].time, events[-1].time) if events else (0.0, 0.0)
+        ),
+    }
+
+
+def format_summary(events: Iterable[TraceEvent]) -> list[str]:
+    """Human-readable trace summary lines for the CLI."""
+    summary = summarize_trace(events)
+    start, end = summary["span"]
+    lines = [
+        f"trace: {summary['events']} events over "
+        f"[{start:.3f}s, {end:.3f}s] virtual",
+        "events by type:",
+    ]
+    for etype, count in summary["counts_by_type"].items():
+        lines.append(f"  {etype:24s} {count:>8d}")
+    stalls: list[StallInterval] = summary["stalls"]
+    if stalls:
+        total = sum(s.duration for s in stalls)
+        longest = max(stalls, key=lambda s: s.duration)
+        lines.append(
+            f"stalls: {len(stalls)} totalling {total * 1e3:.2f} ms "
+            f"(longest {longest.duration * 1e3:.2f} ms "
+            f"at t={longest.start:.3f}s)"
+        )
+        lines.append("top stall causes:")
+        for cause, count, seconds in summary["stall_causes"]:
+            lines.append(
+                f"  {cause:24s} {count:>6d} stalls  {seconds * 1e3:10.2f} ms"
+            )
+    else:
+        lines.append("stalls: none recorded")
+    merge_seconds: dict[str, float] = summary["merge_seconds"]
+    if merge_seconds:
+        lines.append("merge time by level:")
+        for level in sorted(merge_seconds):
+            lines.append(
+                f"  {level:24s} {merge_seconds[level] * 1e3:10.2f} ms"
+            )
+    return lines

@@ -1,0 +1,141 @@
+"""Structured trace events with a bounded ring buffer and spans.
+
+Counters say *how much*; the trace says *when and in what order*.  Every
+event is stamped with the engine's virtual clock, so events from
+different layers (a device transfer, a merge step, a write stall) share
+one timeline and can be correlated after the run — the Figure 7 analysis
+("why did this insert stall at t=412s?") becomes a query over the ring.
+
+The recorder is deliberately cheap: one :class:`TraceEvent` per emit,
+appended to a ``deque`` with ``maxlen``, so a long benchmark keeps the
+newest ``capacity`` events and never grows without bound.  Spans pair a
+``*_begin``/``*_end`` event around a region of virtual time and nest via
+an explicit stack (``parent_id``), because simulation code is
+single-threaded per engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sim.clock import VirtualClock
+
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed event on the virtual timeline.
+
+    Attributes:
+        time: virtual seconds when the event was emitted.
+        etype: event type (``disk_io``, ``merge_progress``,
+            ``stall_begin``, ...); the taxonomy is documented in
+            ``docs/observability.md``.
+        data: event-type-specific payload fields.
+    """
+
+    time: float
+    etype: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def format(self) -> str:
+        """Render as one ``t=... etype key=value ...`` line."""
+        fields = " ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"t={self.time:.6f} {self.etype}" + (f" {fields}" if fields else "")
+
+
+class TraceRecorder:
+    """A bounded ring buffer of :class:`TraceEvent`.
+
+    ``emit`` stamps the shared virtual clock; when the ring is full the
+    oldest event is evicted (``dropped`` counts how many).  ``enabled``
+    turns recording off entirely for overhead-sensitive sweeps.
+    """
+
+    def __init__(
+        self, clock: VirtualClock, capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.clock = clock
+        self.capacity = capacity
+        self.enabled = True
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self._emitted = 0
+        self._span_stack: list[int] = []
+        self._next_span_id = 0
+
+    def emit(self, etype: str, **data: Any) -> TraceEvent | None:
+        """Record one event at the current virtual time."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(time=self.clock.now, etype=etype, data=data)
+        self._ring.append(event)
+        self._emitted += 1
+        return event
+
+    @contextmanager
+    def span(self, etype: str, **data: Any) -> Iterator[int]:
+        """Bracket a region of virtual time with begin/end events.
+
+        Emits ``{etype}_begin`` on entry and ``{etype}_end`` on exit
+        (with the region's virtual duration).  Both carry ``span_id``
+        and ``parent_id`` so nested spans reconstruct into a tree.
+        """
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        parent_id = self._span_stack[-1] if self._span_stack else None
+        start = self.clock.now
+        self.emit(f"{etype}_begin", span_id=span_id, parent_id=parent_id, **data)
+        self._span_stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            self._span_stack.pop()
+            self.emit(
+                f"{etype}_end",
+                span_id=span_id,
+                parent_id=parent_id,
+                duration=self.clock.now - start,
+                **data,
+            )
+
+    def events(self, etype: str | None = None) -> list[TraceEvent]:
+        """Retained events, oldest first (optionally one type only)."""
+        if etype is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.etype == etype]
+
+    def clear(self) -> None:
+        """Drop all retained events (the dropped count resets too)."""
+        self._ring.clear()
+        self._emitted = 0
+
+    @property
+    def emitted(self) -> int:
+        """Events emitted since construction (or the last ``clear``)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound."""
+        return self._emitted - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder(retained={len(self._ring)}, "
+            f"dropped={self.dropped}, capacity={self.capacity})"
+        )

@@ -17,9 +17,13 @@ operation (including any merge work or backpressure stall charged to it).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.sim.clock import VirtualClock
 from repro.sim.stats import IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.runtime import EngineRuntime
 
 
 @dataclass(frozen=True)
@@ -122,6 +126,7 @@ class SimDisk:
         model: DiskModel,
         clock: VirtualClock,
         name: str | None = None,
+        runtime: "EngineRuntime | None" = None,
     ) -> None:
         self.model = model
         self.clock = clock
@@ -129,6 +134,17 @@ class SimDisk:
         self.stats = IOStats()
         self._head = -1  # byte offset where the previous access ended
         self._trace: list[IOEvent] | None = None
+        self.runtime = runtime
+        if runtime is not None:
+            runtime.register_disk(self)
+            prefix = f"disk.{self.name}"
+            metrics = runtime.metrics
+            self._ctr_seeks = metrics.counter(f"{prefix}.seeks")
+            self._ctr_read_ops = metrics.counter(f"{prefix}.read_ops")
+            self._ctr_write_ops = metrics.counter(f"{prefix}.write_ops")
+            self._ctr_bytes_read = metrics.counter(f"{prefix}.bytes_read")
+            self._ctr_bytes_written = metrics.counter(f"{prefix}.bytes_written")
+            self._ctr_busy = metrics.counter(f"{prefix}.busy_seconds")
 
     def start_trace(self) -> None:
         """Record every access as an :class:`IOEvent` (debugging aid)."""
@@ -188,6 +204,24 @@ class SimDisk:
         self.stats.busy_seconds += service
         self._head = offset + nbytes
         self.clock.advance(service)
+        if self.runtime is not None:
+            if not sequential:
+                self._ctr_seeks.inc()
+            if is_write:
+                self._ctr_write_ops.inc()
+                self._ctr_bytes_written.inc(nbytes)
+            else:
+                self._ctr_read_ops.inc()
+                self._ctr_bytes_read.inc(nbytes)
+            self._ctr_busy.inc(service)
+            self.runtime.trace.emit(
+                "disk_io",
+                disk=self.name,
+                kind="write" if is_write else "read",
+                nbytes=nbytes,
+                seek=not sequential,
+                busy=service,
+            )
         if self._trace is not None:
             self._trace.append(
                 IOEvent(

@@ -8,7 +8,7 @@ metrics are computed from; every :class:`~repro.sim.disk.SimDisk` owns one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass
@@ -33,24 +33,15 @@ class IOStats:
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        return IOStats(
-            seeks=self.seeks,
-            read_ops=self.read_ops,
-            write_ops=self.write_ops,
-            bytes_read=self.bytes_read,
-            bytes_written=self.bytes_written,
-            busy_seconds=self.busy_seconds,
-        )
+        return replace(self)
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Return the counters accumulated since the ``earlier`` snapshot."""
         return IOStats(
-            seeks=self.seeks - earlier.seeks,
-            read_ops=self.read_ops - earlier.read_ops,
-            write_ops=self.write_ops - earlier.write_ops,
-            bytes_read=self.bytes_read - earlier.bytes_read,
-            bytes_written=self.bytes_written - earlier.bytes_written,
-            busy_seconds=self.busy_seconds - earlier.busy_seconds,
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
         )
 
     @property
@@ -60,10 +51,8 @@ class IOStats:
 
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(
-            seeks=self.seeks + other.seeks,
-            read_ops=self.read_ops + other.read_ops,
-            write_ops=self.write_ops + other.write_ops,
-            bytes_read=self.bytes_read + other.bytes_read,
-            bytes_written=self.bytes_written + other.bytes_written,
-            busy_seconds=self.busy_seconds + other.busy_seconds,
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
         )

@@ -68,6 +68,10 @@ class SSTable:
         self._freed = False
         self.bloom_extent: Extent | None = None
         """Where the persisted Bloom filter lives, if it was persisted."""
+        metrics = stasis.runtime.metrics
+        self._ctr_bloom_negative = metrics.counter("bloom.negatives")
+        self._ctr_bloom_hit = metrics.counter("bloom.hits")
+        self._ctr_bloom_false_positive = metrics.counter("bloom.false_positives")
 
     @property
     def min_key(self) -> bytes | None:
@@ -104,7 +108,11 @@ class SSTable:
         Checks the Bloom filter first (Section 3.1): a negative answer
         costs zero I/O; a positive answer reads exactly one block.
         """
-        if not self.blocks or not self.might_contain(key):
+        if not self.blocks:
+            return None
+        filtered = self.bloom is not None
+        if filtered and key not in self.bloom:
+            self._ctr_bloom_negative.inc()  # zero-I/O rejection (§3.1)
             return None
         if self._max_key is not None and key > self._max_key:
             return None
@@ -114,7 +122,11 @@ class SSTable:
         records = self._read_block(self.blocks[index])
         position = bisect.bisect_left(records, key, key=lambda r: r.key)
         if position < len(records) and records[position].key == key:
+            if filtered:
+                self._ctr_bloom_hit.inc()
             return records[position]
+        if filtered:
+            self._ctr_bloom_false_positive.inc()  # paid a block read for nothing
         return None
 
     def scan(

@@ -18,10 +18,13 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import StorageError
 from repro.storage.pagefile import PageFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.runtime import EngineRuntime
 
 
 class EvictionPolicy(enum.Enum):
@@ -51,6 +54,7 @@ class BufferManager:
         pagefile: PageFile,
         capacity_pages: int,
         policy: EvictionPolicy = EvictionPolicy.CLOCK,
+        runtime: "EngineRuntime | None" = None,
     ) -> None:
         if capacity_pages <= 0:
             raise ValueError(
@@ -66,6 +70,13 @@ class BufferManager:
         self.misses = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+        self.runtime = runtime
+        if runtime is not None:
+            metrics = runtime.metrics
+            self._ctr_hits = metrics.counter("buffer.hits")
+            self._ctr_misses = metrics.counter("buffer.misses")
+            self._ctr_evictions = metrics.counter("buffer.evictions")
+            self._ctr_writebacks = metrics.counter("buffer.dirty_writebacks")
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -78,9 +89,13 @@ class BufferManager:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.hits += 1
+            if self.runtime is not None:
+                self._ctr_hits.inc()
             self._touch(page_id, frame)
             return frame.payload
         self.misses += 1
+        if self.runtime is not None:
+            self._ctr_misses.inc()
         payload = self.pagefile.read_page(page_id)
         self._install(page_id, _Frame(payload))
         return payload
@@ -102,7 +117,7 @@ class BufferManager:
             raise StorageError(f"page {page_id} is not resident")
         if frame.dirty:
             self.pagefile.write_page(page_id, frame.payload)
-            self.dirty_writebacks += 1
+            self._note_writeback()
             frame.dirty = False
 
     def flush_all(self) -> int:
@@ -115,7 +130,7 @@ class BufferManager:
             frame = self._frames[page_id]
             if frame.dirty:
                 self.pagefile.write_page(page_id, frame.payload)
-                self.dirty_writebacks += 1
+                self._note_writeback()
                 frame.dirty = False
                 written += 1
         return written
@@ -133,6 +148,11 @@ class BufferManager:
         self._frames.clear()
         self._ring.clear()
         self._hand = 0
+
+    def _note_writeback(self) -> None:
+        self.dirty_writebacks += 1
+        if self.runtime is not None:
+            self._ctr_writebacks.inc()
 
     @property
     def hit_rate(self) -> float:
@@ -161,8 +181,13 @@ class BufferManager:
         frame = self._frames.pop(victim_id)
         if frame.dirty:
             self.pagefile.write_page(victim_id, frame.payload)
-            self.dirty_writebacks += 1
+            self._note_writeback()
         self.evictions += 1
+        if self.runtime is not None:
+            self._ctr_evictions.inc()
+            self.runtime.trace.emit(
+                "buffer_evict", page_id=victim_id, dirty=frame.dirty
+            )
 
     def _clock_sweep(self) -> int:
         """Advance the clock hand until an unreferenced frame is found."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import RecoveryError
+from repro.obs.runtime import EngineRuntime
 from repro.sim.clock import VirtualClock
 from repro.sim.disk import DiskModel, SimDisk
 from repro.storage.buffer import BufferManager, EvictionPolicy
@@ -39,14 +40,24 @@ class Stasis:
         eviction_policy: EvictionPolicy = EvictionPolicy.CLOCK,
         durability: DurabilityMode = DurabilityMode.ASYNC,
         clock: VirtualClock | None = None,
+        runtime: EngineRuntime | None = None,
     ) -> None:
         model = disk_model if disk_model is not None else DiskModel.hdd()
-        self.clock = clock if clock is not None else VirtualClock()
-        self.data_disk = SimDisk(model, self.clock, name=f"{model.name}-data")
-        self.log_disk = SimDisk(model, self.clock, name=f"{model.name}-log")
+        if runtime is None:
+            runtime = EngineRuntime(clock=clock)
+        elif clock is not None and runtime.clock is not clock:
+            raise ValueError("runtime and clock arguments disagree")
+        self.runtime = runtime
+        self.clock = runtime.clock
+        self.data_disk = SimDisk(
+            model, self.clock, name=f"{model.name}-data", runtime=runtime
+        )
+        self.log_disk = SimDisk(
+            model, self.clock, name=f"{model.name}-log", runtime=runtime
+        )
         self.pagefile = PageFile(self.data_disk, page_size)
         self.buffer = BufferManager(
-            self.pagefile, buffer_pool_pages, eviction_policy
+            self.pagefile, buffer_pool_pages, eviction_policy, runtime=runtime
         )
         self.regions = RegionAllocator()
         self.wal = WriteAheadLog(self.log_disk)
@@ -96,13 +107,21 @@ class Stasis:
         self.logical_log.crash()
 
     def io_summary(self) -> dict[str, Any]:
-        """Combined device counters, for benchmark reporting."""
-        data, log = self.data_disk.stats, self.log_disk.stats
+        """Combined device counters, for benchmark reporting.
+
+        Values come from the shared :class:`MetricsRegistry` — the same
+        numbers any caller can read via ``runtime.metrics`` — so this is
+        a convenience view, not a separate accounting.
+        """
+        metrics = self.runtime.metrics
+        data = f"disk.{self.data_disk.name}"
+        log = f"disk.{self.log_disk.name}"
         return {
-            "data_seeks": data.seeks,
-            "data_bytes_read": data.bytes_read,
-            "data_bytes_written": data.bytes_written,
-            "log_bytes_written": log.bytes_written,
-            "busy_seconds": data.busy_seconds + log.busy_seconds,
+            "data_seeks": int(metrics.value(f"{data}.seeks")),
+            "data_bytes_read": int(metrics.value(f"{data}.bytes_read")),
+            "data_bytes_written": int(metrics.value(f"{data}.bytes_written")),
+            "log_bytes_written": int(metrics.value(f"{log}.bytes_written")),
+            "busy_seconds": metrics.value(f"{data}.busy_seconds")
+            + metrics.value(f"{log}.busy_seconds"),
             "buffer_hit_rate": self.buffer.hit_rate,
         }

@@ -30,6 +30,8 @@ class RunResult:
     latencies: dict[OpKind, LatencyStats]
     timeseries: Timeseries | None
     io: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    """Engine-wide :class:`MetricsRegistry` snapshot taken at phase end."""
 
     @property
     def throughput(self) -> float:
@@ -54,6 +56,29 @@ class RunResult:
             "throughput": self.throughput,
             "latency": self.all_latencies().summary(),
         }
+
+
+def _latency_observer(engine: KVEngine):
+    """Record per-kind op latencies into ``ycsb.latency.{kind}`` histograms.
+
+    Engines without a runtime (external/stub engines) get a no-op, so the
+    runner never requires observability to function.
+    """
+    runtime = engine.runtime
+    if runtime is None:
+        return lambda kind, latency: None
+    histograms: dict[OpKind, Any] = {}
+
+    def observe(kind: OpKind, latency: float) -> None:
+        histogram = histograms.get(kind)
+        if histogram is None:
+            histogram = runtime.metrics.histogram(
+                f"ycsb.latency.{kind.name.lower()}"
+            )
+            histograms[kind] = histogram
+        histogram.observe(latency)
+
+    return observe
 
 
 def execute(engine: KVEngine, op: Operation) -> None:
@@ -98,6 +123,7 @@ def load_phase(
     """
     generator = OperationGenerator(spec, seed=seed)
     stats = LatencyStats()
+    observe = _latency_observer(engine)
     series = (
         Timeseries(timeseries_window) if timeseries_window is not None else None
     )
@@ -110,7 +136,9 @@ def load_phase(
         value = bytes(spec.value_bytes)
         before = engine.clock.now
         count = bulk((key, value) for key in sorted(generator.load_keys()))
-        stats.record((engine.clock.now - before) / max(1, count))
+        per_op = (engine.clock.now - before) / max(1, count)
+        stats.record(per_op)
+        observe(OpKind.INSERT, per_op)
     else:
         import random as _random
 
@@ -124,6 +152,7 @@ def load_phase(
                 engine.put(key, value)
             latency = engine.clock.now - before
             stats.record(latency)
+            observe(OpKind.INSERT, latency)
             if series is not None:
                 series.record(before - start, latency)
     elapsed = engine.clock.now - start
@@ -134,6 +163,7 @@ def load_phase(
         latencies={OpKind.INSERT: stats},
         timeseries=series,
         io=_io_delta(io_before, engine.io_summary()),
+        metrics=engine.metrics(),
     )
 
 
@@ -160,6 +190,7 @@ def run_workload(
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     generator = OperationGenerator(spec, seed=seed)
     latencies: dict[OpKind, LatencyStats] = {}
+    observe = _latency_observer(engine)
     series = (
         Timeseries(timeseries_window) if timeseries_window is not None else None
     )
@@ -181,6 +212,7 @@ def run_workload(
         completions.append(now)
         latency = now - issued
         latencies.setdefault(op.kind, LatencyStats()).record(latency)
+        observe(op.kind, latency)
         if series is not None:
             series.record(issued - start, latency)
         operations += 1
@@ -192,6 +224,7 @@ def run_workload(
         latencies=latencies,
         timeseries=series,
         io=_io_delta(io_before, engine.io_summary()),
+        metrics=engine.metrics(),
     )
 
 

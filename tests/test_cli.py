@@ -150,3 +150,43 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_trace_summary_lists_stalls(capsys):
+    code, out = run_cli(
+        capsys,
+        "trace", "--engine", "blsm", "--scheduler", "naive",
+        "--records", "300", "--ops", "0", "--value-bytes", "100",
+        "--c0-bytes", "16384", "--cache-pages", "16",
+    )
+    assert code == 0
+    assert "trace:" in out and "events" in out
+    assert "stall_begin" in out  # event taxonomy listing
+    assert "merge_backpressure" in out  # top stall causes
+    assert "merge time by level" in out
+    assert "c0c1" in out
+
+
+def test_trace_dump_prints_raw_events(capsys):
+    code, out = run_cli(
+        capsys,
+        "trace", "--engine", "blsm", "--scheduler", "naive",
+        "--records", "300", "--ops", "0", "--value-bytes", "100",
+        "--c0-bytes", "16384", "--cache-pages", "16",
+        "--dump", "--last", "5",
+    )
+    assert code == 0
+    lines = [line for line in out.splitlines() if line]
+    assert len(lines) == 5
+    assert all(line.startswith("t=") for line in lines)
+
+
+def test_trace_works_for_every_engine(capsys):
+    # Engines without stalls still summarize cleanly.
+    code, out = run_cli(
+        capsys,
+        "trace", "--engine", "bitcask",
+        "--records", "100", "--ops", "0", "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "disk_io" in out
