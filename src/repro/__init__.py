@@ -12,6 +12,8 @@ The package provides:
   runs on;
 * :mod:`repro.obs` — the observability core every engine reports
   through (metrics registry, trace recorder, engine runtime);
+* :mod:`repro.faults` — seeded fault injection (faulty devices, retry
+  policies, crash-point enumeration) for recovery testing;
 * :mod:`repro.analysis` — the paper's analytical models (read fanout,
   Figure 2, Table 2).
 
@@ -34,6 +36,7 @@ from repro.baselines import (
     PartitionedBLSMEngine,
 )
 from repro.core import BLSM, BLSMOptions, PartitionedBLSM
+from repro.faults import FaultPlan, FaultRule, FaultyDisk, RetryPolicy
 from repro.obs import EngineRuntime, MetricsRegistry, TraceRecorder
 from repro.sim import DiskModel, IOStats, SimDisk, VirtualClock
 from repro.storage import DurabilityMode, EvictionPolicy, Stasis
@@ -50,12 +53,16 @@ __all__ = [
     "DurabilityMode",
     "EngineRuntime",
     "EvictionPolicy",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyDisk",
     "IOStats",
     "KVEngine",
     "LevelDBEngine",
     "MetricsRegistry",
     "PartitionedBLSM",
     "PartitionedBLSMEngine",
+    "RetryPolicy",
     "SimDisk",
     "Stasis",
     "TraceRecorder",

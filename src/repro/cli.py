@@ -47,6 +47,25 @@ def _disk(name: str) -> DiskModel:
     return DiskModel.single_hdd()
 
 
+def _fault_plan(args: argparse.Namespace):
+    """A FaultPlan from the ``--fault-*`` flags, or ``None``."""
+    transient = getattr(args, "fault_transient", 0.0)
+    latency = getattr(args, "fault_latency", 0.0)
+    if transient <= 0.0 and latency <= 0.0:
+        return None
+    from repro.faults import FaultPlan, FaultRule
+
+    seed = getattr(args, "fault_seed", 0)
+    plan = FaultPlan(seed=seed)
+    if transient > 0.0:
+        plan.add(FaultRule(kind="transient", probability=transient))
+    if latency > 0.0:
+        plan.add(
+            FaultRule(kind="latency", extra_seconds=latency, probability=0.01)
+        )
+    return plan
+
+
 def _engine(
     name: str,
     disk: DiskModel,
@@ -55,10 +74,15 @@ def _engine(
     durability: str = "async",
     compression: float = 1.0,
     scheduler: str = "spring_gear",
+    fault_plan=None,
 ) -> KVEngine:
     from repro.storage import DurabilityMode
 
     mode = DurabilityMode(durability)
+    if fault_plan is not None and name not in ("blsm", "blsm-part"):
+        raise SystemExit(
+            f"--fault-* flags require a bLSM engine, not {name!r}"
+        )
     if name == "blsm":
         return BLSMEngine(
             BLSMOptions(
@@ -68,6 +92,7 @@ def _engine(
                 durability=mode,
                 compression_ratio=compression,
                 scheduler=scheduler,
+                fault_plan=fault_plan,
             )
         )
     if name == "blsm-part":
@@ -79,6 +104,7 @@ def _engine(
                 durability=mode,
                 compression_ratio=compression,
                 scheduler=scheduler,
+                fault_plan=fault_plan,
             )
         )
     if name == "btree":
@@ -130,7 +156,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     engine = _engine(
         args.engine, disk, args.c0_bytes, args.cache_pages,
         durability=args.durability, compression=args.compression,
-        scheduler=args.scheduler,
+        scheduler=args.scheduler, fault_plan=_fault_plan(args),
     )
     spec = _workload_spec(args)
     print(
@@ -254,13 +280,13 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run a workload and dump or summarize its observability trace."""
-    from repro.obs import format_summary
+    from repro.obs import format_fault_summary, format_summary
 
     disk = _disk(args.disk)
     engine = _engine(
         args.engine, disk, args.c0_bytes, args.cache_pages,
         durability=args.durability, compression=args.compression,
-        scheduler=args.scheduler,
+        scheduler=args.scheduler, fault_plan=_fault_plan(args),
     )
     spec = _workload_spec(args)
     load_phase(engine, spec, seed=args.seed)
@@ -280,6 +306,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         for line in format_summary(events):
             print(line)
+        for line in format_fault_summary(runtime.metrics):
+            print(line)
         if runtime.trace.dropped:
             print(
                 f"(ring dropped {runtime.trace.dropped} older events; "
@@ -287,6 +315,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             )
     engine.close()
     return 0
+
+
+def _cmd_crashtest(args: argparse.Namespace) -> int:
+    """Crash-point enumeration: crash at every Nth I/O boundary, recover,
+    verify acknowledged writes (ALICE-style, docs/fault-injection.md)."""
+    from repro.faults.crashpoints import enumerate_crash_points, format_report
+
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    report = enumerate_crash_points(
+        engine=args.engine,
+        ops=args.ops,
+        every=args.every,
+        seed=args.seed,
+        progress=progress,
+    )
+    print(format_report(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_cache_table(args: argparse.Namespace) -> int:
@@ -399,6 +444,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="spring_gear",
         help="merge scheduler for the bLSM engines",
     )
+    workload.add_argument(
+        "--fault-transient", type=float, default=0.0, metavar="PROB",
+        help="inject retryable I/O errors with this per-access probability "
+        "(bLSM engines; absorbed by retry-with-backoff)",
+    )
+    workload.add_argument(
+        "--fault-latency", type=float, default=0.0, metavar="SECONDS",
+        help="inject a latency spike of SECONDS on ~1%% of accesses",
+    )
+    workload.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the injected-fault schedule",
+    )
     workload.set_defaults(fn=_cmd_workload)
 
     compare = sub.add_parser(
@@ -466,6 +524,27 @@ def build_parser() -> argparse.ArgumentParser:
     selfcheck.add_argument("--operations", type=int, default=3000)
     selfcheck.add_argument("--seed", type=int, default=0)
     selfcheck.set_defaults(fn=_cmd_selfcheck)
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="crash at every Nth I/O boundary, recover, verify durability",
+    )
+    crashtest.add_argument(
+        "--engine", choices=("blsm", "partitioned"), default="blsm"
+    )
+    crashtest.add_argument(
+        "--ops", type=int, default=500,
+        help="scripted workload length (puts and deletes)",
+    )
+    crashtest.add_argument(
+        "--every", type=int, default=1,
+        help="test every Nth device-access boundary",
+    )
+    crashtest.add_argument("--seed", type=int, default=0)
+    crashtest.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    crashtest.set_defaults(fn=_cmd_crashtest)
     return parser
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.sim.disk import DiskModel
 from repro.storage.buffer import EvictionPolicy
 from repro.storage.logical_log import DurabilityMode
@@ -102,6 +104,19 @@ class BLSMOptions:
 
     seed: int = 0
     """Seed for the memtable's skip list."""
+
+    fault_plan: FaultPlan | None = None
+    """When set, both devices inject faults from this plan (the devices
+    become :class:`~repro.faults.disk.FaultyDisk` instances sharing it)."""
+
+    retry: RetryPolicy | None = None
+    """Retry/backoff policy for transient device faults.  ``None`` means
+    no retries on a healthy substrate; with a ``fault_plan`` set, Stasis
+    defaults to ``RetryPolicy()`` unless an explicit policy is given."""
+
+    capacity_bytes: int | None = None
+    """Optional data-device capacity; overflowing writes raise
+    :class:`~repro.errors.DeviceFullError`."""
 
     def __post_init__(self) -> None:
         if self.c0_bytes <= 0:

@@ -107,6 +107,9 @@ class PartitionedBLSM:
                 buffer_pool_pages=opts.buffer_pool_pages,
                 eviction_policy=opts.eviction_policy,
                 durability=opts.durability,
+                fault_plan=opts.fault_plan,
+                retry=opts.retry,
+                capacity_bytes=opts.capacity_bytes,
             )
         self.max_partition_bytes = (
             max_partition_bytes

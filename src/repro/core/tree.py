@@ -69,6 +69,9 @@ class BLSM:
                 buffer_pool_pages=opts.buffer_pool_pages,
                 eviction_policy=opts.eviction_policy,
                 durability=opts.durability,
+                fault_plan=opts.fault_plan,
+                retry=opts.retry,
+                capacity_bytes=opts.capacity_bytes,
             )
         self._memtable = MemTable(self._c0_capacity, seed=opts.seed)
         self._frozen: MemTable | None = None  # C0' (non-snowshovel mode)

@@ -36,6 +36,62 @@ class RecoveryError(StorageError):
     """Raised when crash recovery cannot reconstruct a consistent state."""
 
 
+class DeviceFullError(StorageError):
+    """Raised when a write would exceed a device's configured capacity."""
+
+    def __init__(self, offset: int, nbytes: int, capacity_bytes: int) -> None:
+        super().__init__(
+            f"write of {nbytes} bytes at offset {offset} exceeds device "
+            f"capacity of {capacity_bytes} bytes"
+        )
+        self.offset = offset
+        self.nbytes = nbytes
+        self.capacity_bytes = capacity_bytes
+
+
+class IOFaultError(StorageError):
+    """Raised when device I/O fails and cannot (or can no longer) be retried.
+
+    This is what callers see when a :class:`TransientIOError` survives a
+    :class:`~repro.faults.retry.RetryExecutor`'s full retry budget — the
+    failure is surfaced as a hard, typed error instead of silent data loss.
+    """
+
+
+class TransientIOError(IOFaultError):
+    """A retryable device fault (injected by a faulty device).
+
+    An immediate retry of the same access may succeed; a
+    :class:`~repro.faults.retry.RetryExecutor` converts repeated failures
+    into an :class:`IOFaultError`.
+    """
+
+
+class CorruptionError(StorageError):
+    """Raised when a checksum mismatch reveals corrupted durable data."""
+
+
+class CrashPoint(BaseException):
+    """A simulated whole-process crash raised from inside a device access.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    that ordinary ``except Exception`` error handling — including retry
+    loops — can never swallow a simulated process death.  ``persisted_bytes``
+    reports how much of the interrupted write reached the platter before
+    the crash (0 for a crash before any transfer); log implementations use
+    it to mark records as durable, torn, or lost.
+    """
+
+    def __init__(self, persisted_bytes: int = 0, access_index: int = -1) -> None:
+        super().__init__(
+            f"simulated crash ({persisted_bytes} bytes persisted"
+            + (f", access #{access_index}" if access_index >= 0 else "")
+            + ")"
+        )
+        self.persisted_bytes = persisted_bytes
+        self.access_index = access_index
+
+
 class EngineError(ReproError):
     """Raised when a key-value engine is driven incorrectly."""
 

@@ -1,0 +1,26 @@
+"""Fault injection: faulty devices, retry hardening, crash-point harness.
+
+The package models the failure modes a production LSM must survive
+(Section 4.4.2's recovery discussion): transient device errors, torn
+writes, whole-process crashes at arbitrary I/O boundaries, silent
+corruption, and latency spikes.  Faults come from a seeded, deterministic
+:class:`FaultPlan`; a :class:`FaultyDisk` injects them; a
+:class:`RetryPolicy`/:class:`RetryExecutor` pair absorbs the transient
+ones with backoff charged to the virtual clock.
+
+The crash-point enumeration harness lives in
+:mod:`repro.faults.crashpoints` (imported explicitly, not re-exported
+here, because it depends on the engine layer above this package).
+"""
+
+from repro.faults.disk import FaultyDisk
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.faults.retry import RetryExecutor, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultyDisk",
+    "RetryExecutor",
+    "RetryPolicy",
+]

@@ -1,0 +1,280 @@
+"""ALICE-style crash-point enumeration for the bLSM engines.
+
+The harness answers the question §4.4.2's recovery design must answer:
+*is every acknowledged write recoverable no matter where the process
+dies?*  It runs a deterministic scripted workload against an engine
+whose devices share an armed :class:`~repro.faults.plan.FaultPlan`,
+crashing at every Nth device-access boundary (reads and writes across
+both the data and log device, so merge I/O, buffer evictions, WAL forces
+and logical-log forces are all crash candidates).  After each simulated
+crash it drops volatile state, recovers via the engine's ``recover``
+classmethod, and verifies the recovered store against a shadow model:
+
+* every acknowledged write (``SYNC`` durability) must read back exactly;
+* the single in-flight operation may surface as either its old or its
+  new value — both outcomes are durable-by-contract.
+
+This package sits *above* the engine layer, so engines are imported
+lazily inside functions — ``repro.faults`` itself stays importable from
+the storage layer below.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import CrashPoint
+from repro.faults.plan import FaultPlan
+from repro.storage.logical_log import DurabilityMode
+
+_ENGINES = ("blsm", "partitioned")
+
+
+@dataclass
+class CrashOutcome:
+    """What happened at one enumerated crash point."""
+
+    access_index: int
+    crashed: bool
+    recovered: bool
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class CrashTestReport:
+    """Aggregate result of one crash-point enumeration run."""
+
+    engine: str
+    ops: int
+    every: int
+    seed: int
+    total_accesses: int
+    points_tested: int
+    crashes_triggered: int
+    recoveries_verified: int
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CrashOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def scripted_workload(
+    ops: int, seed: int = 0, keyspace: int | None = None
+) -> list[tuple[str, bytes, bytes | None]]:
+    """A deterministic op script: mostly puts, some deletes, reused keys."""
+    rng = random.Random(seed)
+    if keyspace is None:
+        keyspace = max(ops // 2, 16)
+    script: list[tuple[str, bytes, bytes | None]] = []
+    for index in range(ops):
+        key = f"key-{rng.randrange(keyspace):06d}".encode()
+        if rng.random() < 0.15:
+            script.append(("delete", key, None))
+        else:
+            script.append(("put", key, f"value-{index:06d}".encode()))
+    return script
+
+
+def _default_options(plan: FaultPlan | None, seed: int) -> Any:
+    # Small C0 and pool so a few hundred ops exercise merges, evictions
+    # and log truncation — the interesting crash surfaces.
+    from repro.core.options import BLSMOptions
+
+    return BLSMOptions(
+        c0_bytes=6 * 1024,
+        buffer_pool_pages=16,
+        durability=DurabilityMode.SYNC,
+        fault_plan=plan,
+        seed=seed,
+    )
+
+
+def _build_engine(engine: str, plan: FaultPlan | None, seed: int) -> Any:
+    if engine == "blsm":
+        from repro.core.tree import BLSM
+
+        return BLSM(_default_options(plan, seed))
+    if engine == "partitioned":
+        from repro.core.partitioned import PartitionedBLSM
+
+        return PartitionedBLSM(
+            _default_options(plan, seed), max_partition_bytes=24 * 1024
+        )
+    raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+
+
+def _recover_engine(engine: str, stasis: Any, options: Any) -> Any:
+    if engine == "blsm":
+        from repro.core.tree import BLSM
+
+        return BLSM.recover(stasis, options)
+    from repro.core.partitioned import PartitionedBLSM
+
+    return PartitionedBLSM.recover(stasis, options, max_partition_bytes=24 * 1024)
+
+
+def _run_script(
+    tree: Any,
+    script: list[tuple[str, bytes, bytes | None]],
+    model: dict[bytes, bytes | None],
+) -> None:
+    """Apply the whole script, maintaining the acked-write model."""
+    for op, key, value in script:
+        if op == "put":
+            tree.put(key, value)
+            model[key] = value
+        else:
+            tree.delete(key)
+            model[key] = None
+
+
+def _verify(
+    recovered: Any,
+    model: dict[bytes, bytes | None],
+    in_flight: tuple[str, bytes, bytes | None] | None,
+    outcome: CrashOutcome,
+) -> None:
+    in_flight_key = in_flight[1] if in_flight is not None else None
+    for key, expected in sorted(model.items()):
+        actual = recovered.get(key)
+        if key == in_flight_key:
+            op, _, value = in_flight  # type: ignore[misc]
+            new = value if op == "put" else None
+            if actual != expected and actual != new:
+                outcome.failures.append(
+                    f"key {key!r}: got {actual!r}, expected acked {expected!r} "
+                    f"or in-flight {new!r}"
+                )
+        elif actual != expected:
+            outcome.failures.append(
+                f"key {key!r}: got {actual!r}, expected acked {expected!r}"
+            )
+    if in_flight_key is not None and in_flight_key not in model:
+        op, _, value = in_flight  # type: ignore[misc]
+        new = value if op == "put" else None
+        actual = recovered.get(in_flight_key)
+        if actual is not None and actual != new:
+            outcome.failures.append(
+                f"in-flight key {in_flight_key!r}: got {actual!r}, "
+                f"expected None or {new!r}"
+            )
+
+
+def count_workload_accesses(
+    engine: str, script: list[tuple[str, bytes, bytes | None]], seed: int = 0
+) -> int:
+    """Device accesses the scripted workload performs (crash candidates)."""
+    plan = FaultPlan(seed=seed, armed=False)
+    tree = _build_engine(engine, plan, seed)
+    plan.arm()
+    _run_script(tree, script, {})
+    plan.disarm()
+    tree.close()
+    return plan.access_count
+
+
+def enumerate_crash_points(
+    engine: str = "blsm",
+    ops: int = 500,
+    every: int = 1,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> CrashTestReport:
+    """Crash at every ``every``-th I/O boundary; recover; verify.
+
+    Engine construction and recovery run with the plan disarmed, so
+    access index ``k`` always names the ``k``-th device access *of the
+    workload* — the same boundary in every run of the same script.
+    """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if ops <= 0:
+        raise ValueError(f"ops must be positive, got {ops}")
+    if every <= 0:
+        raise ValueError(f"every must be positive, got {every}")
+    script = scripted_workload(ops, seed=seed)
+    total = count_workload_accesses(engine, script, seed=seed)
+    report = CrashTestReport(
+        engine=engine,
+        ops=ops,
+        every=every,
+        seed=seed,
+        total_accesses=total,
+        points_tested=0,
+        crashes_triggered=0,
+        recoveries_verified=0,
+    )
+    for access in range(1, total + 1, every):
+        outcome = CrashOutcome(access_index=access, crashed=False, recovered=False)
+        plan = FaultPlan.crash_at(access, seed=seed, armed=False)
+        tree = _build_engine(engine, plan, seed)
+        model: dict[bytes, bytes | None] = {}
+        in_flight: tuple[str, bytes, bytes | None] | None = None
+        plan.arm()
+        try:
+            for op, key, value in script:
+                in_flight = (op, key, value)
+                if op == "put":
+                    tree.put(key, value)
+                    model[key] = value
+                else:
+                    tree.delete(key)
+                    model[key] = None
+                in_flight = None
+        except CrashPoint:
+            outcome.crashed = True
+        finally:
+            plan.disarm()
+        if outcome.crashed:
+            report.crashes_triggered += 1
+            tree.stasis.crash()
+            recovered = _recover_engine(engine, tree.stasis, tree.options)
+            outcome.recovered = True
+            _verify(recovered, model, in_flight, outcome)
+        else:
+            # The boundary fell past the workload's last access (access
+            # counts can shrink slightly when earlier crashes reorder
+            # nothing — with a fixed script they should not, but stay
+            # honest): verify the completed run instead.
+            tree.close()
+            _verify(tree, model, None, outcome)
+        if outcome.ok and outcome.recovered:
+            report.recoveries_verified += 1
+        report.points_tested += 1
+        report.outcomes.append(outcome)
+        if progress is not None and access % 50 == 1:
+            progress(
+                f"crashtest[{engine}]: boundary {access}/{total}, "
+                f"{len(report.failures)} failures"
+            )
+    return report
+
+
+def format_report(report: CrashTestReport) -> str:
+    """Human-readable summary (the ``repro crashtest`` output)."""
+    lines = [
+        f"crash-point enumeration: engine={report.engine} ops={report.ops} "
+        f"every={report.every} seed={report.seed}",
+        f"  workload device accesses : {report.total_accesses}",
+        f"  boundaries tested        : {report.points_tested}",
+        f"  crashes triggered        : {report.crashes_triggered}",
+        f"  recoveries verified      : {report.recoveries_verified}",
+        f"  failures                 : {len(report.failures)}",
+    ]
+    for outcome in report.failures[:10]:
+        for failure in outcome.failures[:3]:
+            lines.append(f"    at access {outcome.access_index}: {failure}")
+    verdict = "PASS" if report.ok else "FAIL"
+    lines.append(f"  verdict                  : {verdict}")
+    return "\n".join(lines)

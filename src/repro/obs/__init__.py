@@ -12,6 +12,7 @@ from repro.obs.runtime import EngineRuntime
 from repro.obs.summary import (
     StallInterval,
     events_within,
+    format_fault_summary,
     format_summary,
     merge_seconds_by_level,
     reconstruct_stalls,
@@ -30,6 +31,7 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "events_within",
+    "format_fault_summary",
     "format_summary",
     "merge_seconds_by_level",
     "reconstruct_stalls",

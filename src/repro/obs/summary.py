@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from collections import Counter as TallyCounter
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.obs.trace import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -145,4 +148,43 @@ def format_summary(events: Iterable[TraceEvent]) -> list[str]:
             lines.append(
                 f"  {level:24s} {merge_seconds[level] * 1e3:10.2f} ms"
             )
+    return lines
+
+
+_FAULT_METRIC_LABELS = (
+    ("faults.transient_errors", "transient I/O errors"),
+    ("faults.torn_writes", "torn writes"),
+    ("faults.crash_points", "crash points"),
+    ("faults.corruptions", "corruption marks"),
+    ("faults.latency_spikes", "latency spikes"),
+    ("retry.retries", "retries"),
+    ("retry.exhausted", "retry budgets exhausted"),
+    ("wal.torn_tail_truncations", "WAL torn tails truncated"),
+    ("log.torn_records_dropped", "torn log records dropped"),
+    ("pagefile.corrupt_reads", "corrupt page reads"),
+)
+
+
+def format_fault_summary(metrics: "MetricsRegistry") -> list[str]:
+    """Fault/retry/corruption counter lines for the CLI trace summary.
+
+    Returns an empty list when nothing fault-related ever fired, so a
+    healthy run's summary stays unchanged.
+    """
+    rows = [
+        (label, metrics.value(name, 0.0))
+        for name, label in _FAULT_METRIC_LABELS
+    ]
+    backoff = metrics.value("retry.backoff_seconds", 0.0)
+    spike = metrics.value("faults.latency_seconds", 0.0)
+    if all(value == 0.0 for _, value in rows) and backoff == 0.0 and spike == 0.0:
+        return []
+    lines = ["faults and recovery hardening:"]
+    for label, value in rows:
+        if value:
+            lines.append(f"  {label:24s} {int(value):>8d}")
+    if backoff:
+        lines.append(f"  {'retry backoff':24s} {backoff * 1e3:>8.2f} ms")
+    if spike:
+        lines.append(f"  {'injected latency':24s} {spike * 1e3:>8.2f} ms")
     return lines

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.errors import DeviceFullError
 from repro.sim.clock import VirtualClock
 from repro.sim.stats import IOStats
 
@@ -127,10 +128,16 @@ class SimDisk:
         clock: VirtualClock,
         name: str | None = None,
         runtime: "EngineRuntime | None" = None,
+        capacity_bytes: int | None = None,
     ) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
         self.model = model
         self.clock = clock
         self.name = name if name is not None else model.name
+        self.capacity_bytes = capacity_bytes
         self.stats = IOStats()
         self._head = -1  # byte offset where the previous access ended
         self._trace: list[IOEvent] | None = None
@@ -190,6 +197,12 @@ class SimDisk:
             )
         if nbytes == 0:
             return 0.0
+        if (
+            is_write
+            and self.capacity_bytes is not None
+            and offset + nbytes > self.capacity_bytes
+        ):
+            raise DeviceFullError(offset, nbytes, self.capacity_bytes)
         sequential = offset == self._head
         service = nbytes / bandwidth
         if not sequential:
@@ -234,6 +247,23 @@ class SimDisk:
                 )
             )
         return service
+
+    # -- fault-query surface -------------------------------------------
+    #
+    # Checksummed consumers (pagefile, logs) ask the device whether a byte
+    # range was corrupted.  A plain SimDisk never corrupts anything; a
+    # FaultyDisk (repro.faults.disk) overrides these with real bookkeeping,
+    # so consumer code is uniform across healthy and hostile devices.
+
+    def corrupted(self, offset: int, nbytes: int) -> bool:
+        """Whether any byte of ``[offset, offset + nbytes)`` is corrupt."""
+        return False
+
+    def mark_corrupt(self, offset: int, nbytes: int) -> None:
+        """Flag a byte range as corrupted (no-op on a healthy device)."""
+
+    def clear_corruption(self, offset: int, nbytes: int) -> None:
+        """Heal a byte range (no-op on a healthy device)."""
 
     def __repr__(self) -> str:
         return f"SimDisk(name={self.name!r}, model={self.model.name!r})"

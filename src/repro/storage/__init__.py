@@ -9,14 +9,16 @@ individual writes.  This package re-implements each of those pieces over a
 """
 
 from repro.storage.buffer import BufferManager, EvictionPolicy
+from repro.storage.checksum import CORRUPTION_MASK, payload_checksum
 from repro.storage.logical_log import DurabilityMode, LogicalLog, LogicalRecord
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
 from repro.storage.region import Extent, RegionAllocator
 from repro.storage.stasis import Stasis
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import WALRecord, WriteAheadLog
 
 __all__ = [
     "BufferManager",
+    "CORRUPTION_MASK",
     "DEFAULT_PAGE_SIZE",
     "DurabilityMode",
     "EvictionPolicy",
@@ -26,5 +28,7 @@ __all__ = [
     "PageFile",
     "RegionAllocator",
     "Stasis",
+    "WALRecord",
     "WriteAheadLog",
+    "payload_checksum",
 ]

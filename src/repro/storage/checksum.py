@@ -1,0 +1,26 @@
+"""Checksums for simulated durable payloads.
+
+Pages and log records hold Python payloads rather than serialized bytes,
+so checksums are computed over a canonical byte rendering.  Detection is
+still end-to-end honest: writers store the checksum at write time,
+readers recompute it from what the device "returns" — and a device that
+corrupted or tore the range perturbs the read-back value
+(:data:`CORRUPTION_MASK`), so the comparison fails exactly when the
+stored bytes no longer match what was written (§4.4.2 hardening).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+CORRUPTION_MASK = 0x5F5F5F5F
+"""XOR perturbation applied to a checksum read back from a damaged range."""
+
+
+def payload_checksum(*parts: object) -> int:
+    """CRC32 over the canonical byte rendering of ``parts``."""
+    digest = 0
+    for part in parts:
+        data = part if isinstance(part, bytes) else repr(part).encode()
+        digest = zlib.crc32(data, digest)
+    return digest

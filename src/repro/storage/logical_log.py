@@ -17,15 +17,30 @@ practice (Section 4.4.2 and 5.1):
 * ``NONE`` — the degraded mode: no logging at all; after a crash, writes
   since the last completed merge are lost, which the paper notes is
   acceptable for high-throughput replication.
+
+Hardening (fault-injection layer): records are checksummed at append
+time.  A force torn mid-record by a :class:`~repro.errors.CrashPoint`
+leaves the straddling record with a broken checksum; replay detects it
+and *drops* it — a logical record is a single acknowledged-or-not write,
+so dropping the torn (never-acknowledged) record is exactly the
+durable-by-contract outcome.  Silent corruption marks on replayed ranges
+raise :class:`~repro.errors.CorruptionError`.  An optional
+:class:`~repro.faults.retry.RetryExecutor` absorbs transient force
+failures with backoff.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
+from repro.errors import CorruptionError, CrashPoint
 from repro.sim.disk import SimDisk
+from repro.storage.checksum import CORRUPTION_MASK, payload_checksum
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.retry import RetryExecutor
 
 _RECORD_OVERHEAD = 24  # simulated framing per logical record
 
@@ -50,6 +65,7 @@ class LogicalRecord:
     op: str
     key: bytes
     value: bytes | None
+    checksum: int = field(default=0, compare=False)
 
     @property
     def nbytes(self) -> int:
@@ -65,15 +81,20 @@ class LogicalLog:
         disk: SimDisk,
         mode: DurabilityMode = DurabilityMode.ASYNC,
         group_commit_bytes: int = 512 * 1024,
+        retry: "RetryExecutor | None" = None,
     ) -> None:
         self.disk = disk
         self.mode = mode
         self.group_commit_bytes = group_commit_bytes
+        self.retry = retry
         self._durable: list[LogicalRecord] = []
         self._pending: list[LogicalRecord] = []
         self._pending_bytes = 0
         self._tail_offset = 0
         self._truncated_below = 0  # seqnos below this are covered by trees
+        self._offsets: dict[int, tuple[int, int]] = {}  # seqno -> (offset, nbytes)
+        self._torn: set[int] = set()  # seqnos whose write was torn mid-record
+        self.torn_records_dropped = 0
 
     @property
     def truncated_below(self) -> int:
@@ -89,7 +110,9 @@ class LogicalLog:
         """Append one write; return the virtual time spent forcing, if any."""
         if self.mode is DurabilityMode.NONE:
             return 0.0
-        record = LogicalRecord(seqno, op, key, value)
+        record = LogicalRecord(
+            seqno, op, key, value, payload_checksum(seqno, op, key, value)
+        )
         self._pending.append(record)
         self._pending_bytes += record.nbytes
         if self.mode is DurabilityMode.SYNC:
@@ -99,15 +122,54 @@ class LogicalLog:
         return 0.0
 
     def force(self) -> float:
-        """Write buffered records sequentially; return service time."""
+        """Write buffered records sequentially; return service time.
+
+        A :class:`~repro.errors.CrashPoint` mid-write models a torn force:
+        fully-persisted records stay durable, the straddler stays on disk
+        with a broken checksum (dropped at replay), later records are
+        lost.  The crash re-raises — the process is dead.
+        """
         if not self._pending:
             return 0.0
-        service = self.disk.write(self._tail_offset, self._pending_bytes)
-        self._tail_offset += self._pending_bytes
+        offset = self._tail_offset
+        nbytes = self._pending_bytes
+        try:
+            service = self._write(offset, nbytes)
+        except CrashPoint as crash:
+            self._absorb_torn_force(offset, crash.persisted_bytes)
+            raise
+        cursor = offset
+        for record in self._pending:
+            self._offsets[record.seqno] = (cursor, record.nbytes)
+            cursor += record.nbytes
+        self._tail_offset += nbytes
         self._durable.extend(self._pending)
         self._pending.clear()
         self._pending_bytes = 0
         return service
+
+    def _write(self, offset: int, nbytes: int) -> float:
+        if self.retry is not None:
+            return self.retry.run(
+                lambda: self.disk.write(offset, nbytes), what="log.force"
+            )
+        return self.disk.write(offset, nbytes)
+
+    def _absorb_torn_force(self, offset: int, persisted: int) -> None:
+        """Account a force interrupted after ``persisted`` bytes."""
+        cursor = 0
+        for record in self._pending:
+            if cursor + record.nbytes <= persisted:
+                self._offsets[record.seqno] = (offset + cursor, record.nbytes)
+                self._durable.append(record)
+            elif cursor < persisted:
+                self._offsets[record.seqno] = (offset + cursor, record.nbytes)
+                self._durable.append(record)
+                self._torn.add(record.seqno)
+            cursor += record.nbytes
+        self._tail_offset = offset + persisted
+        self._pending.clear()
+        self._pending_bytes = 0
 
     def truncate(self, below_seqno: int) -> None:
         """Drop durable records whose seqno is below ``below_seqno``.
@@ -116,9 +178,15 @@ class LogicalLog:
         an on-disk tree component.
         """
         self._truncated_below = max(self._truncated_below, below_seqno)
+        dropped = [
+            r for r in self._durable if r.seqno < self._truncated_below
+        ]
         self._durable = [
             record for record in self._durable if record.seqno >= self._truncated_below
         ]
+        for record in dropped:
+            self._offsets.pop(record.seqno, None)
+            self._torn.discard(record.seqno)
 
     def retain_ranges(self, coverage: dict[bytes, tuple[int, int]]) -> float:
         """Exact truncation: keep only the writes still resident in C0.
@@ -150,7 +218,11 @@ class LogicalLog:
         past_all = 1 + max(
             (r.seqno for r in self._durable + self._pending), default=-1
         )
+        dropped = [r for r in self._durable if not keep(r)]
         self._durable = [r for r in self._durable if keep(r)]
+        for record in dropped:
+            self._offsets.pop(record.seqno, None)
+            self._torn.discard(record.seqno)
         checkpoint_bytes = 16 + 24 * len(coverage)
         service = self.disk.write(self._tail_offset, checkpoint_bytes)
         self._tail_offset += checkpoint_bytes
@@ -160,12 +232,51 @@ class LogicalLog:
         return service
 
     def replay(self) -> Iterator[LogicalRecord]:
-        """Yield durable records in seqno order, charging replay I/O."""
+        """Yield durable records in seqno order, charging replay I/O.
+
+        Records whose read-back checksum fails because their force was
+        torn are dropped (the write was never acknowledged); records whose
+        byte range carries a silent-corruption mark raise
+        :class:`~repro.errors.CorruptionError` — the write *was*
+        acknowledged, so its loss must not be silent.
+        """
         records = sorted(self._durable, key=lambda record: record.seqno)
         nbytes = sum(record.nbytes for record in records)
         if nbytes:
-            self.disk.read(0, nbytes)
-        yield from records
+            start = min(
+                (self._offsets[r.seqno][0] for r in records if r.seqno in self._offsets),
+                default=0,
+            )
+            self.disk.read(start, nbytes)
+        for record in records:
+            if self._readback_checksum(record) != record.checksum:
+                if record.seqno in self._torn:
+                    self._drop_torn(record)
+                    continue
+                raise CorruptionError(
+                    f"logical record seqno={record.seqno} op={record.op!r} "
+                    f"failed checksum verification"
+                )
+            yield record
+
+    def _readback_checksum(self, record: LogicalRecord) -> int:
+        """The checksum as recomputed from what the device returns."""
+        placement = self._offsets.get(record.seqno)
+        damaged = record.seqno in self._torn or (
+            placement is not None and self.disk.corrupted(*placement)
+        )
+        actual = payload_checksum(record.seqno, record.op, record.key, record.value)
+        return actual ^ CORRUPTION_MASK if damaged else actual
+
+    def _drop_torn(self, record: LogicalRecord) -> None:
+        self._durable = [r for r in self._durable if r.seqno != record.seqno]
+        self._offsets.pop(record.seqno, None)
+        self._torn.discard(record.seqno)
+        self.torn_records_dropped += 1
+        runtime = self.disk.runtime
+        if runtime is not None:
+            runtime.metrics.counter("log.torn_records_dropped").inc()
+            runtime.trace.emit("log_torn_record", seqno=record.seqno, op=record.op)
 
     def crash(self) -> None:
         """Simulate a crash: buffered (un-forced) records are lost."""

@@ -10,6 +10,16 @@ exist, their extents, key counts and timestamps).  ``commit_manifest``
 makes a new manifest durable atomically: it appends one WAL record and
 forces the WAL, mirroring how "Stasis ensures each tree merge runs in its
 own atomic and durable transaction".
+
+Fault injection: pass a :class:`~repro.faults.plan.FaultPlan` and both
+devices become :class:`~repro.faults.disk.FaultyDisk` instances sharing
+the plan (so access indices count globally across data and log I/O — the
+crash-point harness enumerates one boundary sequence).  A
+:class:`~repro.faults.retry.RetryPolicy` (defaulted when a plan is
+present) is bound to the clock as a
+:class:`~repro.faults.retry.RetryExecutor` and threaded through the page
+file and both logs' force paths, which transitively hardens the buffer
+manager and merge I/O.
 """
 
 from __future__ import annotations
@@ -17,6 +27,9 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import RecoveryError
+from repro.faults.disk import FaultyDisk
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryExecutor, RetryPolicy
 from repro.obs.runtime import EngineRuntime
 from repro.sim.clock import VirtualClock
 from repro.sim.disk import DiskModel, SimDisk
@@ -41,6 +54,9 @@ class Stasis:
         durability: DurabilityMode = DurabilityMode.ASYNC,
         clock: VirtualClock | None = None,
         runtime: EngineRuntime | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        capacity_bytes: int | None = None,
     ) -> None:
         model = disk_model if disk_model is not None else DiskModel.hdd()
         if runtime is None:
@@ -49,19 +65,49 @@ class Stasis:
             raise ValueError("runtime and clock arguments disagree")
         self.runtime = runtime
         self.clock = runtime.clock
-        self.data_disk = SimDisk(
-            model, self.clock, name=f"{model.name}-data", runtime=runtime
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            self.data_disk: SimDisk = FaultyDisk(
+                model,
+                self.clock,
+                name=f"{model.name}-data",
+                runtime=runtime,
+                capacity_bytes=capacity_bytes,
+                plan=fault_plan,
+            )
+            self.log_disk: SimDisk = FaultyDisk(
+                model,
+                self.clock,
+                name=f"{model.name}-log",
+                runtime=runtime,
+                plan=fault_plan,
+            )
+            if retry is None:
+                retry = RetryPolicy()
+        else:
+            self.data_disk = SimDisk(
+                model,
+                self.clock,
+                name=f"{model.name}-data",
+                runtime=runtime,
+                capacity_bytes=capacity_bytes,
+            )
+            self.log_disk = SimDisk(
+                model, self.clock, name=f"{model.name}-log", runtime=runtime
+            )
+        self.retry_policy = retry
+        self.retry = (
+            RetryExecutor(retry, self.clock, runtime=runtime)
+            if retry is not None
+            else None
         )
-        self.log_disk = SimDisk(
-            model, self.clock, name=f"{model.name}-log", runtime=runtime
-        )
-        self.pagefile = PageFile(self.data_disk, page_size)
+        self.pagefile = PageFile(self.data_disk, page_size, retry=self.retry)
         self.buffer = BufferManager(
             self.pagefile, buffer_pool_pages, eviction_policy, runtime=runtime
         )
         self.regions = RegionAllocator()
-        self.wal = WriteAheadLog(self.log_disk)
-        self.logical_log = LogicalLog(self.log_disk, durability)
+        self.wal = WriteAheadLog(self.log_disk, retry=self.retry)
+        self.logical_log = LogicalLog(self.log_disk, durability, retry=self.retry)
         self._committed_manifest: Any = None
 
     @property

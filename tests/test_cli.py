@@ -190,3 +190,70 @@ def test_trace_works_for_every_engine(capsys):
     )
     assert code == 0
     assert "disk_io" in out
+
+
+def test_crashtest_subcommand_passes(capsys):
+    code, out = run_cli(
+        capsys,
+        "crashtest", "--engine", "blsm", "--ops", "60", "--every", "9",
+        "--quiet",
+    )
+    assert code == 0
+    assert "crash-point enumeration" in out
+    assert "verdict" in out and "PASS" in out
+
+
+def test_crashtest_partitioned_engine(capsys):
+    code, out = run_cli(
+        capsys,
+        "crashtest", "--engine", "partitioned", "--ops", "50",
+        "--every", "11", "--quiet",
+    )
+    assert code == 0
+    assert "PASS" in out
+
+
+def test_trace_summary_reports_injected_faults(capsys):
+    code, out = run_cli(
+        capsys,
+        "trace", "--engine", "blsm",
+        "--records", "400", "--ops", "200", "--value-bytes", "100",
+        "--c0-bytes", "16384", "--cache-pages", "16",
+        "--fault-transient", "0.05", "--fault-seed", "3",
+    )
+    assert code == 0
+    assert "faults and recovery hardening:" in out
+    assert "transient I/O errors" in out
+    assert "retries" in out
+    assert "retry backoff" in out
+
+
+def test_trace_summary_silent_when_healthy(capsys):
+    code, out = run_cli(
+        capsys,
+        "trace", "--engine", "blsm",
+        "--records", "200", "--ops", "0", "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "faults and recovery hardening:" not in out
+
+
+def test_workload_with_fault_flags_completes(capsys):
+    code, out = run_cli(
+        capsys,
+        "workload", "--engine", "blsm",
+        "--records", "200", "--ops", "150", "--value-bytes", "100",
+        "--blind-write", "1.0",
+        "--fault-transient", "0.02", "--fault-latency", "0.001",
+    )
+    assert code == 0
+    assert "run  :" in out
+
+
+def test_fault_flags_rejected_for_non_blsm_engines(capsys):
+    with pytest.raises(SystemExit):
+        main([
+            "workload", "--engine", "btree",
+            "--records", "50", "--ops", "0",
+            "--fault-transient", "0.1",
+        ])
