@@ -75,6 +75,9 @@ def _engine(
     compression: float = 1.0,
     scheduler: str = "spring_gear",
     fault_plan=None,
+    log_disk: DiskModel | None = None,
+    data_stripes: int = 1,
+    background_merges: bool = False,
 ) -> KVEngine:
     from repro.storage import DurabilityMode
 
@@ -82,6 +85,12 @@ def _engine(
     if fault_plan is not None and name not in ("blsm", "blsm-part"):
         raise SystemExit(
             f"--fault-* flags require a bLSM engine, not {name!r}"
+        )
+    placement = (log_disk, data_stripes, background_merges)
+    if placement != (None, 1, False) and name not in ("blsm", "blsm-part"):
+        raise SystemExit(
+            "--log-device/--data-stripes/--background-merges require a "
+            f"bLSM engine, not {name!r}"
         )
     if name == "blsm":
         return BLSMEngine(
@@ -93,6 +102,9 @@ def _engine(
                 compression_ratio=compression,
                 scheduler=scheduler,
                 fault_plan=fault_plan,
+                log_disk_model=log_disk,
+                data_stripes=data_stripes,
+                background_merges=background_merges,
             )
         )
     if name == "blsm-part":
@@ -105,6 +117,9 @@ def _engine(
                 compression_ratio=compression,
                 scheduler=scheduler,
                 fault_plan=fault_plan,
+                log_disk_model=log_disk,
+                data_stripes=data_stripes,
+                background_merges=background_merges,
             )
         )
     if name == "btree":
@@ -151,12 +166,23 @@ def _workload_spec(args: argparse.Namespace) -> WorkloadSpec:
     )
 
 
+def _placement(args: argparse.Namespace) -> dict:
+    """Device-placement kwargs from --log-device/--data-stripes/... flags."""
+    log_device = getattr(args, "log_device", None)
+    return {
+        "log_disk": _disk(log_device) if log_device else None,
+        "data_stripes": getattr(args, "data_stripes", 1),
+        "background_merges": getattr(args, "background_merges", False),
+    }
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     disk = _disk(args.disk)
     engine = _engine(
         args.engine, disk, args.c0_bytes, args.cache_pages,
         durability=args.durability, compression=args.compression,
         scheduler=args.scheduler, fault_plan=_fault_plan(args),
+        **_placement(args),
     )
     spec = _workload_spec(args)
     print(
@@ -280,13 +306,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run a workload and dump or summarize its observability trace."""
-    from repro.obs import format_fault_summary, format_summary
+    from repro.obs import (
+        format_device_summary,
+        format_fault_summary,
+        format_summary,
+    )
 
     disk = _disk(args.disk)
     engine = _engine(
         args.engine, disk, args.c0_bytes, args.cache_pages,
         durability=args.durability, compression=args.compression,
         scheduler=args.scheduler, fault_plan=_fault_plan(args),
+        **_placement(args),
     )
     spec = _workload_spec(args)
     load_phase(engine, spec, seed=args.seed)
@@ -305,6 +336,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(event.format())
     else:
         for line in format_summary(events):
+            print(line)
+        for line in format_device_summary(runtime):
             print(line)
         for line in format_fault_summary(runtime.metrics):
             print(line)
@@ -443,6 +476,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler", choices=("naive", "gear", "spring_gear"),
         default="spring_gear",
         help="merge scheduler for the bLSM engines",
+    )
+    workload.add_argument(
+        "--log-device", choices=DISKS, default=None, dest="log_device",
+        help="put the logs on a separate device of this model (the "
+        "paper's dedicated log disk; bLSM engines only)",
+    )
+    workload.add_argument(
+        "--data-stripes", type=int, default=1, metavar="N",
+        help="stripe the data device over N RAID-0 members "
+        "(bLSM engines only)",
+    )
+    workload.add_argument(
+        "--background-merges", action="store_true",
+        help="run merge I/O on background timelines instead of charging "
+        "it to the writer (bLSM engines only)",
     )
     workload.add_argument(
         "--fault-transient", type=float, default=0.0, metavar="PROB",

@@ -37,6 +37,24 @@ class BLSMOptions:
     disk_model: DiskModel = field(default_factory=DiskModel.hdd)
     """Device profile both data and log devices are built from."""
 
+    log_disk_model: DiskModel | None = None
+    """Separate device profile for the log device (the paper's dedicated
+    log disk, Section 5.1).  ``None`` shares :attr:`disk_model`."""
+
+    data_stripes: int = 1
+    """Number of member devices in the data array.  1 uses a single
+    :class:`~repro.sim.disk.SimDisk`; >= 2 builds a RAID-0
+    :class:`~repro.sim.disk.StripedDisk` (Section 5.1's arrays)."""
+
+    stripe_chunk_bytes: int = 512 * 1024
+    """RAID-0 stripe chunk size (the paper's arrays use 512 KB stripes)."""
+
+    background_merges: bool = False
+    """Run merge I/O on per-merge background timelines (the paper's merge
+    threads, Section 5.1) instead of charging it synchronously to the
+    writer.  Foreground writes then feel merges only through device
+    queueing and C0-fill backpressure; see docs/concurrency.md."""
+
     eviction_policy: EvictionPolicy = EvictionPolicy.CLOCK
     """Buffer-pool replacement policy (CLOCK per Section 4.4.2)."""
 
@@ -135,4 +153,17 @@ class BLSMOptions:
         if not 0.0 < self.compression_ratio <= 1.0:
             raise ValueError(
                 f"compression_ratio must be in (0, 1], got {self.compression_ratio}"
+            )
+        if self.data_stripes < 1:
+            raise ValueError(
+                f"data_stripes must be >= 1, got {self.data_stripes}"
+            )
+        if self.stripe_chunk_bytes <= 0:
+            raise ValueError(
+                f"stripe_chunk_bytes must be positive, got {self.stripe_chunk_bytes}"
+            )
+        if self.data_stripes > 1 and self.fault_plan is not None:
+            raise ValueError(
+                "fault injection is not supported on a striped data device "
+                "(the crash-point harness needs one serial access sequence)"
             )

@@ -46,6 +46,7 @@ from repro.core.options import BLSMOptions
 from repro.errors import EngineClosedError
 from repro.memtable.memtable import MemTable
 from repro.records import Record, resolve
+from repro.sim.clock import Timeline
 from repro.sstable.iterator import kway_merge
 from repro.sstable.reader import SSTable
 from repro.storage.stasis import Stasis
@@ -110,6 +111,9 @@ class PartitionedBLSM:
                 fault_plan=opts.fault_plan,
                 retry=opts.retry,
                 capacity_bytes=opts.capacity_bytes,
+                log_disk_model=opts.log_disk_model,
+                data_stripes=opts.data_stripes,
+                stripe_chunk_bytes=opts.stripe_chunk_bytes,
             )
         self.max_partition_bytes = (
             max_partition_bytes
@@ -122,6 +126,11 @@ class PartitionedBLSM:
         self._next_tree_id = 1
         self._merge_epoch = 0
         self._closed = False
+        # One merge runs at a time (the greedy selector serializes them),
+        # so one background timeline models the merge worker.
+        self._bg: Timeline | None = (
+            Timeline("merge-worker") if opts.background_merges else None
+        )
         self._init_obs()
         self.stasis.commit_manifest(self._manifest())
 
@@ -295,14 +304,25 @@ class PartitionedBLSM:
             started = self.stasis.clock.now
             with self.runtime.trace.span("stall", cause="merge_backpressure"):
                 while self._memtable.fill_fraction > opts.high_water:
-                    if self.merge_step(opts.max_tick_bytes) == 0:
-                        break
+                    if self.merge_step(opts.max_tick_bytes):
+                        continue
+                    if self._wait_for_background():
+                        continue  # wait for the busy merge worker
+                    break
             self._ctr_stalls.inc()
             self._hist_stall.observe(self.stasis.clock.now - started)
 
     def merge_step(self, budget_bytes: int) -> int:
-        """Advance the active merge, starting the best one when idle."""
+        """Advance the active merge, starting the best one when idle.
+
+        With background merges, work is dispatched to the merge worker's
+        timeline; while the worker is still servicing previously
+        dispatched I/O, nothing is dispatched and 0 is returned.
+        """
         if budget_bytes <= 0:
+            return 0
+        timeline = self._bg
+        if timeline is not None and timeline.busy(self.stasis.clock):
             return 0
         active = self._active_merge()
         if active is None:
@@ -311,11 +331,20 @@ class PartitionedBLSM:
             return 0
         partition, process = active
         level = "c1c2" if process is partition.m12 else "c0c1"
-        started = self.stasis.clock.now
-        worked = process.step(budget_bytes)
+        if timeline is None:
+            started = self.stasis.clock.now
+            worked = process.step(budget_bytes)
+            seconds = self.stasis.clock.now - started
+        else:
+            timeline.catch_up(self.stasis.clock)
+            started = timeline.now
+            with self.stasis.clock.running_on(timeline):
+                worked = process.step(budget_bytes)
+                if process.done:
+                    self._finish_merge(partition, process)
+            seconds = timeline.now - started
         if worked:
             _passes, ctr_bytes, ctr_seconds = self._merge_obs[level]
-            seconds = self.stasis.clock.now - started
             ctr_bytes.inc(worked)
             ctr_seconds.inc(seconds)
             self.runtime.trace.emit(
@@ -325,9 +354,17 @@ class PartitionedBLSM:
                 seconds=seconds,
                 inprogress=process.inprogress,
             )
-        if process.done:
+        if timeline is None and process.done:
             self._finish_merge(partition, process)
         return worked
+
+    def _wait_for_background(self) -> bool:
+        """Advance the clock to the merge worker's completion, if busy."""
+        timeline = self._bg
+        if timeline is None or not timeline.busy(self.stasis.clock):
+            return False
+        self.stasis.clock.advance_to(timeline.now)
+        return True
 
     def _active_merge(self) -> tuple[Partition, MergeProcess] | None:
         for partition in self._partitions:
@@ -611,7 +648,7 @@ class PartitionedBLSM:
         """Push all of C0 into the partitions' stacks."""
         self._check_open()
         while not self._memtable.is_empty or self._active_merge() is not None:
-            if self.merge_step(1 << 30) == 0:
+            if self.merge_step(1 << 30) == 0 and not self._wait_for_background():
                 break
 
     def flush_log(self) -> None:
@@ -679,6 +716,11 @@ class PartitionedBLSM:
         tree._memtable = MemTable(tree.options.c0_bytes, seed=tree.options.seed)
         tree._merge_epoch = 0
         tree._closed = False
+        tree._bg = (
+            Timeline("merge-worker")
+            if tree.options.background_merges
+            else None
+        )
         tree._init_obs()
         manifest = stasis.recover_manifest()
         tree._next_seqno = manifest["next_seqno"]

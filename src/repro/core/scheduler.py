@@ -166,22 +166,23 @@ class SpringGearScheduler(MergeScheduler):
         # Steady state: each written byte must eventually push an
         # amplified volume of merge I/O.  Scale that volume by the spring
         # pressure, with headroom (the 2x) so the merge can catch up after
-        # an idle spell instead of only ever breaking even.
+        # an idle spell instead of only ever breaking even.  One budget is
+        # shared across all steps below: max_tick_bytes is the per-tick
+        # latency bound, not a per-step cap.
         amplification = tree.write_amplification_estimate()
         budget = min(
             self.max_tick_bytes, int(2.0 * pressure * amplification * nbytes) + 1
         )
         worked = tree.step_m01(budget)
+        remaining = self.max_tick_bytes - worked
         deficit12 = tree.m01_outprogress - tree.m12_inprogress
-        if deficit12 > 0:
-            work = min(
-                self.max_tick_bytes, int(deficit12 * tree.m12_input_bytes) + 1
-            )
-            tree.step_m12(work)
-        if worked == 0 and fill >= self.high_water:
+        if deficit12 > 0 and remaining > 0:
+            work = min(remaining, int(deficit12 * tree.m12_input_bytes) + 1)
+            remaining -= tree.step_m12(work)
+        if worked == 0 and fill >= self.high_water and remaining > 0:
             # C0:C1 could not run (typically blocked on promotion while
             # the C1:C2 merge finishes); drive the blocker.
-            tree.step_m12(self.max_tick_bytes)
+            tree.step_m12(remaining)
         if tree.c0_fill_fraction >= 1.0:
             tree.force_drain(
                 target_fill=self.high_water, chunk=self.max_tick_bytes

@@ -39,6 +39,7 @@ from repro.core.scheduler import make_scheduler
 from repro.errors import EngineClosedError
 from repro.memtable.memtable import MemTable
 from repro.records import Record, resolve
+from repro.sim.clock import Timeline
 from repro.sstable.iterator import kway_merge
 from repro.sstable.reader import SSTable
 from repro.storage.recovery import recover as storage_recover
@@ -72,6 +73,9 @@ class BLSM:
                 fault_plan=opts.fault_plan,
                 retry=opts.retry,
                 capacity_bytes=opts.capacity_bytes,
+                log_disk_model=opts.log_disk_model,
+                data_stripes=opts.data_stripes,
+                stripe_chunk_bytes=opts.stripe_chunk_bytes,
             )
         self._memtable = MemTable(self._c0_capacity, seed=opts.seed)
         self._frozen: MemTable | None = None  # C0' (non-snowshovel mode)
@@ -88,12 +92,50 @@ class BLSM:
         self._r = opts.min_r
         self._merge_epoch = 0
         self._closed = False
+        self._init_timelines()
         self._init_obs()
         self.scheduler = make_scheduler(
             opts.scheduler, opts.low_water, opts.high_water, opts.max_tick_bytes
         )
         self.scheduler.attach(self)
         self.stasis.commit_manifest(self._manifest())
+
+    def _init_timelines(self) -> None:
+        """Create the per-merge background timelines (Section 5.1's merge
+        threads) when ``options.background_merges`` is set.
+
+        Each merge level gets its own :class:`~repro.sim.clock.Timeline`:
+        merge I/O dispatched to it advances the timeline and the device
+        busy horizons instead of the writer's clock.  A worker whose
+        timeline is ahead of the clock is *busy* — new merge work is not
+        dispatched to it, which bounds merge progress by device speed and
+        keeps C0-fill backpressure meaningful (docs/concurrency.md).
+        """
+        if self.options.background_merges:
+            self._bg01: Timeline | None = Timeline("merge-c0c1")
+            self._bg12: Timeline | None = Timeline("merge-c1c2")
+        else:
+            self._bg01 = None
+            self._bg12 = None
+
+    def _wait_for_background(self) -> bool:
+        """Advance the clock to the next background completion, if any.
+
+        This is the stall path's genuine *waiting*: the foreground has
+        nothing it can do until a merge worker frees up, so virtual time
+        passes without any foreground service being charged.  Returns
+        whether there was anything to wait for.
+        """
+        clock = self.stasis.clock
+        horizons = [
+            timeline.now
+            for timeline in (self._bg01, self._bg12)
+            if timeline is not None and timeline.busy(clock)
+        ]
+        if not horizons:
+            return False
+        clock.advance_to(min(horizons))
+        return True
 
     def _init_obs(self) -> None:
         """Bind this tree's instrumentation to the runtime's registry."""
@@ -114,10 +156,9 @@ class BLSM:
         }
 
     def _note_merge_progress(
-        self, level: str, worked: int, started: float, inprogress: float
+        self, level: str, worked: int, seconds: float, inprogress: float
     ) -> None:
         _passes, ctr_bytes, ctr_seconds = self._merge_obs[level]
-        seconds = self.stasis.clock.now - started
         ctr_bytes.inc(worked)
         ctr_seconds.inc(seconds)
         self.runtime.trace.emit(
@@ -274,7 +315,12 @@ class BLSM:
         self.stasis.logical_log.force()
 
     def drain(self) -> None:
-        """Push all of C0 into C1 (complete outstanding C0:C1 passes)."""
+        """Push all of C0 into C1 (complete outstanding C0:C1 passes).
+
+        With background merges, steps that find their worker busy return
+        0; the loop then *waits* (advances the clock to the worker's
+        completion) rather than concluding no progress is possible.
+        """
         self._check_open()
         while True:
             if self.step_m01(1 << 30):
@@ -283,18 +329,21 @@ class BLSM:
                 return
             if self.step_m12(1 << 30) == 0:
                 if self.step_m01(1 << 30) == 0:
+                    if self._wait_for_background():
+                        continue
                     return
 
     def compact(self) -> None:
         """Merge everything into a single C2 component (major compaction)."""
         self.drain()
         while self._m12 is not None or self._c1_prime is not None:
-            self.step_m12(1 << 30)
+            if self.step_m12(1 << 30) == 0 and not self._wait_for_background():
+                break
         if self._c1 is not None:
             self._c1_prime = self._c1
             self._c1 = None
             while self._m12 is not None or self._c1_prime is not None:
-                if self.step_m12(1 << 30) == 0:
+                if self.step_m12(1 << 30) == 0 and not self._wait_for_background():
                     break
 
     def close(self) -> None:
@@ -371,36 +420,79 @@ class BLSM:
         return amp01 + amp12
 
     def step_m01(self, budget_bytes: int) -> int:
-        """Run up to ``budget_bytes`` of C0:C1 merge work."""
+        """Run up to ``budget_bytes`` of C0:C1 merge work.
+
+        With background merges, the work is dispatched to the C0:C1
+        worker's timeline; if that worker is still servicing previously
+        dispatched I/O (its timeline is ahead of the clock), nothing is
+        dispatched and 0 is returned — the scheduler's deficit carries
+        over, exactly as when a synchronous step runs out of budget.
+        """
         if budget_bytes <= 0:
+            return 0
+        timeline = self._bg01
+        if timeline is not None and timeline.busy(self.stasis.clock):
             return 0
         if self._m01 is None and not self._start_m01():
             return 0
         assert self._m01 is not None
-        started = self.stasis.clock.now
-        worked = self._m01.step(budget_bytes)
+        if timeline is None:
+            started = self.stasis.clock.now
+            worked = self._m01.step(budget_bytes)
+            elapsed = self.stasis.clock.now - started
+        else:
+            timeline.catch_up(self.stasis.clock)
+            started = timeline.now
+            with self.stasis.clock.running_on(timeline):
+                worked = self._m01.step(budget_bytes)
+                if self._m01.done:
+                    self._finish_m01()
+            elapsed = timeline.now - started
         if worked:
             self._note_merge_progress(
-                "c0c1", worked, started, self._m01.inprogress
+                "c0c1",
+                worked,
+                elapsed,
+                self._m01.inprogress if self._m01 is not None else 1.0,
             )
-        if self._m01.done:
+        if self._m01 is not None and self._m01.done:
             self._finish_m01()
         return worked
 
     def step_m12(self, budget_bytes: int) -> int:
-        """Run up to ``budget_bytes`` of C1':C2 merge work."""
+        """Run up to ``budget_bytes`` of C1':C2 merge work.
+
+        Background-merge dispatch gating works exactly as in
+        :meth:`step_m01`, on the C1':C2 worker's own timeline.
+        """
         if budget_bytes <= 0:
+            return 0
+        timeline = self._bg12
+        if timeline is not None and timeline.busy(self.stasis.clock):
             return 0
         if self._m12 is None and not self._start_m12():
             return 0
         assert self._m12 is not None
-        started = self.stasis.clock.now
-        worked = self._m12.step(budget_bytes)
+        if timeline is None:
+            started = self.stasis.clock.now
+            worked = self._m12.step(budget_bytes)
+            elapsed = self.stasis.clock.now - started
+        else:
+            timeline.catch_up(self.stasis.clock)
+            started = timeline.now
+            with self.stasis.clock.running_on(timeline):
+                worked = self._m12.step(budget_bytes)
+                if self._m12.done:
+                    self._finish_m12()
+            elapsed = timeline.now - started
         if worked:
             self._note_merge_progress(
-                "c1c2", worked, started, self._m12.inprogress
+                "c1c2",
+                worked,
+                elapsed,
+                self._m12.inprogress if self._m12 is not None else 1.0,
             )
-        if self._m12.done:
+        if self._m12 is not None and self._m12.done:
             self._finish_m12()
         return worked
 
@@ -431,6 +523,8 @@ class BLSM:
             while self._c0_overfull(target_fill):
                 if self._relieve_c0(chunk):
                     continue
+                if self._wait_for_background():
+                    continue  # wait for a busy merge worker, then retry
                 break  # nothing can make progress
         self._ctr_stalls.inc()
         self._hist_stall.observe(self.stasis.clock.now - started)
@@ -555,6 +649,7 @@ class BLSM:
         tree._promotion_pending = False
         tree._merge_epoch = 0
         tree._closed = False
+        tree._init_timelines()
         tree._init_obs()
         tree.scheduler = make_scheduler(
             tree.options.scheduler,

@@ -127,8 +127,7 @@ class FaultyDisk(SimDisk):
             elif rule.kind == "corrupt":
                 corrupt = corrupt or rule
         if extra > 0.0:
-            self.clock.advance(extra)
-            self.stats.busy_seconds += extra
+            self._charge_wasted(extra)
             self._note_fault("latency", op, offset, nbytes, extra=extra)
         if crash is not None:
             self._note_fault("crash", op, offset, nbytes)
@@ -138,8 +137,7 @@ class FaultyDisk(SimDisk):
         if transient is not None:
             # A failed access still spins the device: charge the seek time
             # as wasted busy time before failing.
-            self.clock.advance(access_seconds)
-            self.stats.busy_seconds += access_seconds
+            self._charge_wasted(access_seconds)
             self._note_fault("transient", op, offset, nbytes)
             raise TransientIOError(
                 f"injected transient {op} error on {self.name!r} "

@@ -12,6 +12,7 @@ from repro.obs.runtime import EngineRuntime
 from repro.obs.summary import (
     StallInterval,
     events_within,
+    format_device_summary,
     format_fault_summary,
     format_summary,
     merge_seconds_by_level,
@@ -31,6 +32,7 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "events_within",
+    "format_device_summary",
     "format_fault_summary",
     "format_summary",
     "merge_seconds_by_level",

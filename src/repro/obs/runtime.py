@@ -10,7 +10,7 @@ directly.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import DEFAULT_CAPACITY, TraceRecorder
@@ -48,6 +48,43 @@ class EngineRuntime:
             self.metrics.value(f"disk.{disk.name}.busy_seconds")
             for disk in self.disks
         )
+
+    def device_summary(self) -> list[dict[str, Any]]:
+        """Per-device utilization and fg/bg attribution rows.
+
+        Utilization is busy time over the observation window; the window
+        ends at the furthest device horizon, since background work can be
+        queued beyond the foreground clock.  ``backlog_seconds`` is how
+        far each device's horizon is ahead of the clock right now — the
+        queue depth, expressed in time.
+        """
+        elapsed = max(
+            [self.clock.now] + [disk.busy_until for disk in self.disks]
+        )
+        rows: list[dict[str, Any]] = []
+        for disk in self.disks:
+            prefix = f"disk.{disk.name}"
+            busy = self.metrics.value(f"{prefix}.busy_seconds")
+            bg_busy = self.metrics.value(f"{prefix}.bg_busy_seconds")
+            rows.append(
+                {
+                    "disk": disk.name,
+                    "busy_seconds": busy,
+                    "fg_busy_seconds": busy - bg_busy,
+                    "bg_busy_seconds": bg_busy,
+                    "fg_wait_seconds": self.metrics.value(
+                        f"{prefix}.fg_wait_seconds"
+                    ),
+                    "bg_wait_seconds": self.metrics.value(
+                        f"{prefix}.bg_wait_seconds"
+                    ),
+                    "utilization": busy / elapsed if elapsed > 0 else 0.0,
+                    "backlog_seconds": max(
+                        0.0, disk.busy_until - self.clock.now
+                    ),
+                }
+            )
+        return rows
 
     def __repr__(self) -> str:
         return (

@@ -151,6 +151,34 @@ def format_summary(events: Iterable[TraceEvent]) -> list[str]:
     return lines
 
 
+def format_device_summary(runtime: Any) -> list[str]:
+    """Per-device utilization and fg/bg I/O split lines for the CLI.
+
+    One row per registered device: how busy it was over the observation
+    window, how that busy time splits between synchronous foreground
+    service and background merge work, and how long foreground requests
+    queued behind the device's busy horizon.
+    """
+    rows = runtime.device_summary()
+    if not rows:
+        return []
+    lines = ["devices (foreground vs background):"]
+    lines.append(
+        f"  {'device':16s} {'util':>6s} {'fg busy':>10s} {'bg busy':>10s} "
+        f"{'fg wait':>10s} {'backlog':>10s}"
+    )
+    for row in rows:
+        lines.append(
+            f"  {row['disk']:16s} "
+            f"{row['utilization'] * 100:5.1f}% "
+            f"{row['fg_busy_seconds'] * 1e3:8.2f}ms "
+            f"{row['bg_busy_seconds'] * 1e3:8.2f}ms "
+            f"{row['fg_wait_seconds'] * 1e3:8.2f}ms "
+            f"{row['backlog_seconds'] * 1e3:8.2f}ms"
+        )
+    return lines
+
+
 _FAULT_METRIC_LABELS = (
     ("faults.transient_errors", "transient I/O errors"),
     ("faults.torn_writes", "torn writes"),

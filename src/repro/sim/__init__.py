@@ -10,8 +10,15 @@ the benchmark harness are measured in virtual time, which reproduces the
 paper's *shapes* (relative wins, crossover points) deterministically.
 """
 
-from repro.sim.clock import VirtualClock
-from repro.sim.disk import DiskModel, SimDisk
+from repro.sim.clock import Timeline, VirtualClock
+from repro.sim.disk import DiskModel, SimDisk, StripedDisk
 from repro.sim.stats import IOStats
 
-__all__ = ["DiskModel", "IOStats", "SimDisk", "VirtualClock"]
+__all__ = [
+    "DiskModel",
+    "IOStats",
+    "SimDisk",
+    "StripedDisk",
+    "Timeline",
+    "VirtualClock",
+]

@@ -7,11 +7,22 @@ sequential bandwidth.  This is exactly the cost model the paper uses in its
 own arithmetic (Section 2.2: "Modern hard disks transfer 100-200MB/sec, and
 have mean access times over 5ms").
 
-The paper runs every system under continuous overload (Section 5.1), so the
-device is the bottleneck and a closed-loop, single-queue model reproduces
-the measured throughput shapes: total virtual elapsed time is the device
-busy time, and per-operation latency is the clock delta across the
-operation (including any merge work or backpressure stall charged to it).
+Each device also keeps a ``busy_until`` horizon on the shared virtual time
+axis: a request issued at time *t* starts at ``max(t, busy_until)`` and the
+horizon advances to its completion.  A *synchronous* requester (the
+application) advances the foreground :class:`~repro.sim.clock.VirtualClock`
+to completion; a *background* requester (a merge running on a
+:class:`~repro.sim.clock.Timeline`, installed via
+``clock.running_on(timeline)``) advances only its own timeline and the
+device horizon.  Foreground latency therefore includes *queueing behind*
+background work but never the background work itself — the distinction
+between merge service time and device contention that the paper's
+dedicated log disk + RAID data array hardware expresses (Section 5.1).
+
+:class:`StripedDisk` models that RAID-0 array: N member devices, each with
+its own head and busy horizon, striped in fixed-size chunks.  A logical
+access fans out to the members it covers and completes when the slowest
+member finishes.
 """
 
 from __future__ import annotations
@@ -37,6 +48,8 @@ class IOEvent:
     nbytes: int
     seek: bool
     service: float
+    wait: float = 0.0  # time spent queued behind the busy horizon
+    background: bool = False  # issued from a background Timeline
 
 KIB = 1024
 MIB = 1024 * 1024
@@ -110,6 +123,18 @@ class DiskModel:
             seq_write_bandwidth=100 * MIB,
         )
 
+    @classmethod
+    def hdd_member(cls) -> "DiskModel":
+        """One drive of the Section 5.1 HDD array, for explicit striping
+        via :class:`StripedDisk` (half the RAID-0 profile's bandwidth)."""
+        return cls(
+            name="hdd-member",
+            read_access_seconds=5e-3,
+            write_access_seconds=5e-3,
+            seq_read_bandwidth=120 * MIB,
+            seq_write_bandwidth=120 * MIB,
+        )
+
 
 class SimDisk:
     """A serial simulated device charging costs to a shared virtual clock.
@@ -120,6 +145,11 @@ class SimDisk:
     appends) are therefore charged bandwidth only, while scattered accesses
     (B-Tree page writes, uncached point reads) pay the access time — the
     distinction the whole paper turns on.
+
+    The ``busy_until`` horizon serializes requesters on this device:
+    every access starts no earlier than the previous one completed,
+    regardless of whether it was issued by the foreground clock or a
+    background timeline (see the module docstring).
     """
 
     def __init__(
@@ -139,6 +169,7 @@ class SimDisk:
         self.name = name if name is not None else model.name
         self.capacity_bytes = capacity_bytes
         self.stats = IOStats()
+        self.busy_until = 0.0  # horizon: when the last queued access ends
         self._head = -1  # byte offset where the previous access ended
         self._trace: list[IOEvent] | None = None
         self.runtime = runtime
@@ -152,6 +183,11 @@ class SimDisk:
             self._ctr_bytes_read = metrics.counter(f"{prefix}.bytes_read")
             self._ctr_bytes_written = metrics.counter(f"{prefix}.bytes_written")
             self._ctr_busy = metrics.counter(f"{prefix}.busy_seconds")
+            self._ctr_fg_busy = metrics.counter(f"{prefix}.fg_busy_seconds")
+            self._ctr_bg_busy = metrics.counter(f"{prefix}.bg_busy_seconds")
+            self._ctr_fg_wait = metrics.counter(f"{prefix}.fg_wait_seconds")
+            self._ctr_bg_wait = metrics.counter(f"{prefix}.bg_wait_seconds")
+            self._gauge_backlog = metrics.gauge(f"{prefix}.backlog_seconds")
 
     def start_trace(self) -> None:
         """Record every access as an :class:`IOEvent` (debugging aid)."""
@@ -164,7 +200,8 @@ class SimDisk:
         return events
 
     def read(self, offset: int, nbytes: int) -> float:
-        """Service a read; advance the clock; return the service time."""
+        """Service a read; advance the requester's timeline; return the
+        observed latency (queue wait plus service time)."""
         return self._access(
             offset,
             nbytes,
@@ -174,7 +211,8 @@ class SimDisk:
         )
 
     def write(self, offset: int, nbytes: int) -> float:
-        """Service a write; advance the clock; return the service time."""
+        """Service a write; advance the requester's timeline; return the
+        observed latency (queue wait plus service time)."""
         return self._access(
             offset,
             nbytes,
@@ -182,6 +220,19 @@ class SimDisk:
             bandwidth=self.model.seq_write_bandwidth,
             is_write=True,
         )
+
+    def _validate(self, offset: int, nbytes: int, is_write: bool) -> None:
+        if offset < 0 or nbytes < 0:
+            raise ValueError(
+                f"invalid access: offset={offset} nbytes={nbytes}"
+            )
+        if (
+            is_write
+            and nbytes > 0
+            and self.capacity_bytes is not None
+            and offset + nbytes > self.capacity_bytes
+        ):
+            raise DeviceFullError(offset, nbytes, self.capacity_bytes)
 
     def _access(
         self,
@@ -191,23 +242,53 @@ class SimDisk:
         bandwidth: float,
         is_write: bool,
     ) -> float:
-        if offset < 0 or nbytes < 0:
-            raise ValueError(
-                f"invalid access: offset={offset} nbytes={nbytes}"
-            )
+        self._validate(offset, nbytes, is_write)
         if nbytes == 0:
             return 0.0
-        if (
-            is_write
-            and self.capacity_bytes is not None
-            and offset + nbytes > self.capacity_bytes
-        ):
-            raise DeviceFullError(offset, nbytes, self.capacity_bytes)
+        timeline = self.clock.active_timeline
+        issue_at = timeline.now if timeline is not None else self.clock.now
+        end, _service, _wait = self._service_at(
+            issue_at,
+            offset,
+            nbytes,
+            access_seconds,
+            bandwidth,
+            is_write,
+            background=timeline is not None,
+        )
+        if timeline is not None:
+            timeline.advance_to(end)
+        else:
+            self.clock.advance_to(end)
+        return end - issue_at
+
+    def _service_at(
+        self,
+        issue_at: float,
+        offset: int,
+        nbytes: int,
+        access_seconds: float,
+        bandwidth: float,
+        is_write: bool,
+        background: bool,
+    ) -> tuple[float, float, float]:
+        """Book one access issued at ``issue_at``; return
+        ``(end_time, service, queue_wait)``.
+
+        Advances the device horizon and all counters but *no* clock or
+        timeline — the caller decides whose timeline completion lands on
+        (a :class:`StripedDisk` fans one logical access out to several
+        members this way).
+        """
         sequential = offset == self._head
         service = nbytes / bandwidth
         if not sequential:
             service += access_seconds
             self.stats.seeks += 1
+        start = max(issue_at, self.busy_until)
+        wait = start - issue_at
+        end = start + service
+        self.busy_until = end
         if is_write:
             self.stats.write_ops += 1
             self.stats.bytes_written += nbytes
@@ -215,8 +296,10 @@ class SimDisk:
             self.stats.read_ops += 1
             self.stats.bytes_read += nbytes
         self.stats.busy_seconds += service
+        self.stats.queue_wait_seconds += wait
+        if background:
+            self.stats.bg_busy_seconds += service
         self._head = offset + nbytes
-        self.clock.advance(service)
         if self.runtime is not None:
             if not sequential:
                 self._ctr_seeks.inc()
@@ -227,6 +310,13 @@ class SimDisk:
                 self._ctr_read_ops.inc()
                 self._ctr_bytes_read.inc(nbytes)
             self._ctr_busy.inc(service)
+            if background:
+                self._ctr_bg_busy.inc(service)
+                self._ctr_bg_wait.inc(wait)
+            else:
+                self._ctr_fg_busy.inc(service)
+                self._ctr_fg_wait.inc(wait)
+            self._gauge_backlog.set(max(0.0, self.busy_until - issue_at))
             self.runtime.trace.emit(
                 "disk_io",
                 disk=self.name,
@@ -234,19 +324,32 @@ class SimDisk:
                 nbytes=nbytes,
                 seek=not sequential,
                 busy=service,
+                wait=wait,
+                background=background,
             )
         if self._trace is not None:
             self._trace.append(
                 IOEvent(
-                    time=self.clock.now,
+                    time=end,
                     kind="write" if is_write else "read",
                     offset=offset,
                     nbytes=nbytes,
                     seek=not sequential,
                     service=service,
+                    wait=wait,
+                    background=background,
                 )
             )
-        return service
+        return end, service, wait
+
+    def _charge_wasted(self, seconds: float) -> None:
+        """Charge extra device time (injected faults) to the requester."""
+        timeline = self.clock.active_timeline
+        if timeline is not None:
+            timeline.advance_to(timeline.now + seconds)
+        else:
+            self.clock.advance(seconds)
+        self.stats.busy_seconds += seconds
 
     # -- fault-query surface -------------------------------------------
     #
@@ -267,3 +370,172 @@ class SimDisk:
 
     def __repr__(self) -> str:
         return f"SimDisk(name={self.name!r}, model={self.model.name!r})"
+
+
+class StripedDisk(SimDisk):
+    """RAID-0 over N member devices (Section 5.1's data arrays).
+
+    The logical byte space is divided into ``chunk_bytes`` chunks dealt
+    round-robin across the members.  Each member keeps its own head and
+    busy horizon, so a large sequential access streams from all members
+    in parallel (bandwidth scales with N) while members stay individually
+    serial.  A logical access completes when its slowest member chunk
+    does; consecutive chunks on the same member coalesce into one member
+    access (they are physically contiguous).
+
+    The aggregate presents the full :class:`SimDisk` surface under one
+    device name: consumers (page file, logs) and the metrics registry see
+    a single device whose counters sum the members'.  Members are built
+    without a runtime so device-level metrics are not double-counted;
+    per-member counters remain available via :attr:`members`.
+    """
+
+    def __init__(
+        self,
+        model: DiskModel,
+        clock: VirtualClock,
+        stripes: int,
+        chunk_bytes: int = 512 * KIB,
+        name: str | None = None,
+        runtime: "EngineRuntime | None" = None,
+        capacity_bytes: int | None = None,
+    ) -> None:
+        if stripes < 2:
+            raise ValueError(f"stripes must be >= 2, got {stripes}")
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive, got {chunk_bytes}")
+        super().__init__(
+            model, clock, name=name, runtime=runtime, capacity_bytes=capacity_bytes
+        )
+        self.chunk_bytes = chunk_bytes
+        self.members = [
+            SimDisk(model, clock, name=f"{self.name}.m{i}")
+            for i in range(stripes)
+        ]
+
+    def _split(
+        self, offset: int, nbytes: int
+    ) -> list[tuple[int, int, int]]:
+        """Map ``[offset, offset + nbytes)`` to ``(member, offset, nbytes)``
+        runs, coalescing physically contiguous chunks per member."""
+        chunk = self.chunk_bytes
+        stripes = len(self.members)
+        runs: list[tuple[int, int, int]] = []
+        position = offset
+        remaining = nbytes
+        while remaining > 0:
+            index = position // chunk
+            within = position % chunk
+            member = index % stripes
+            member_offset = (index // stripes) * chunk + within
+            span = min(remaining, chunk - within)
+            if runs and runs[-1][0] == member and (
+                runs[-1][1] + runs[-1][2] == member_offset
+            ):
+                last = runs[-1]
+                runs[-1] = (last[0], last[1], last[2] + span)
+            else:
+                runs.append((member, member_offset, span))
+            position += span
+            remaining -= span
+        return runs
+
+    def _access(
+        self,
+        offset: int,
+        nbytes: int,
+        access_seconds: float,
+        bandwidth: float,
+        is_write: bool,
+    ) -> float:
+        self._validate(offset, nbytes, is_write)
+        if nbytes == 0:
+            return 0.0
+        timeline = self.clock.active_timeline
+        background = timeline is not None
+        issue_at = timeline.now if background else self.clock.now
+        end = issue_at
+        service_sum = 0.0
+        wait_max = 0.0
+        seeks_before = sum(m.stats.seeks for m in self.members)
+        for member, member_offset, span in self._split(offset, nbytes):
+            sub_end, sub_service, sub_wait = self.members[member]._service_at(
+                issue_at,
+                member_offset,
+                span,
+                access_seconds,
+                bandwidth,
+                is_write,
+                background=background,
+            )
+            end = max(end, sub_end)
+            service_sum += sub_service
+            wait_max = max(wait_max, sub_wait)
+        self.busy_until = max(self.busy_until, end)
+        # Aggregate accounting: the array was "busy" for the access's
+        # critical path; seeks count member head repositionings.
+        seeked = sum(m.stats.seeks for m in self.members) - seeks_before
+        latency = end - issue_at
+        service = latency - wait_max  # critical-path service time
+        self.stats.seeks += seeked
+        if is_write:
+            self.stats.write_ops += 1
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.read_ops += 1
+            self.stats.bytes_read += nbytes
+        self.stats.busy_seconds += service
+        self.stats.queue_wait_seconds += wait_max
+        if background:
+            self.stats.bg_busy_seconds += service
+        if self.runtime is not None:
+            if seeked:
+                self._ctr_seeks.inc(seeked)
+            if is_write:
+                self._ctr_write_ops.inc()
+                self._ctr_bytes_written.inc(nbytes)
+            else:
+                self._ctr_read_ops.inc()
+                self._ctr_bytes_read.inc(nbytes)
+            self._ctr_busy.inc(service)
+            if background:
+                self._ctr_bg_busy.inc(service)
+                self._ctr_bg_wait.inc(wait_max)
+            else:
+                self._ctr_fg_busy.inc(service)
+                self._ctr_fg_wait.inc(wait_max)
+            self._gauge_backlog.set(max(0.0, self.busy_until - issue_at))
+            self.runtime.trace.emit(
+                "disk_io",
+                disk=self.name,
+                kind="write" if is_write else "read",
+                nbytes=nbytes,
+                seek=seeked > 0,
+                busy=service,
+                wait=wait_max,
+                background=background,
+            )
+        if self._trace is not None:
+            self._trace.append(
+                IOEvent(
+                    time=end,
+                    kind="write" if is_write else "read",
+                    offset=offset,
+                    nbytes=nbytes,
+                    seek=seeked > 0,
+                    service=service,
+                    wait=wait_max,
+                    background=background,
+                )
+            )
+        if background:
+            timeline.advance_to(end)
+        else:
+            self.clock.advance_to(end)
+        return latency
+
+    def __repr__(self) -> str:
+        return (
+            f"StripedDisk(name={self.name!r}, model={self.model.name!r}, "
+            f"stripes={len(self.members)}, chunk={self.chunk_bytes})"
+        )

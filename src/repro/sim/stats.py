@@ -22,6 +22,11 @@ class IOStats:
         bytes_read: total bytes transferred from the device.
         bytes_written: total bytes transferred to the device.
         busy_seconds: total virtual time the device spent servicing I/O.
+        bg_busy_seconds: the share of ``busy_seconds`` issued from a
+            background :class:`~repro.sim.clock.Timeline` (merge work);
+            the remainder was synchronous foreground service.
+        queue_wait_seconds: total time requesters spent queued behind the
+            device's busy horizon before their access started.
     """
 
     seeks: int = 0
@@ -30,6 +35,8 @@ class IOStats:
     bytes_read: int = 0
     bytes_written: int = 0
     busy_seconds: float = 0.0
+    bg_busy_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
 
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""

@@ -32,7 +32,7 @@ from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryExecutor, RetryPolicy
 from repro.obs.runtime import EngineRuntime
 from repro.sim.clock import VirtualClock
-from repro.sim.disk import DiskModel, SimDisk
+from repro.sim.disk import DiskModel, SimDisk, StripedDisk
 from repro.storage.buffer import BufferManager, EvictionPolicy
 from repro.storage.logical_log import DurabilityMode, LogicalLog
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
@@ -57,8 +57,14 @@ class Stasis:
         fault_plan: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         capacity_bytes: int | None = None,
+        log_disk_model: DiskModel | None = None,
+        data_stripes: int = 1,
+        stripe_chunk_bytes: int = 512 * 1024,
     ) -> None:
         model = disk_model if disk_model is not None else DiskModel.hdd()
+        log_model = log_disk_model if log_disk_model is not None else model
+        if data_stripes < 1:
+            raise ValueError(f"data_stripes must be >= 1, got {data_stripes}")
         if runtime is None:
             runtime = EngineRuntime(clock=clock)
         elif clock is not None and runtime.clock is not clock:
@@ -67,6 +73,12 @@ class Stasis:
         self.clock = runtime.clock
         self.fault_plan = fault_plan
         if fault_plan is not None:
+            if data_stripes > 1:
+                raise ValueError(
+                    "fault injection is not supported on a striped data "
+                    "device (the crash-point harness needs one serial "
+                    "access sequence)"
+                )
             self.data_disk: SimDisk = FaultyDisk(
                 model,
                 self.clock,
@@ -78,12 +90,25 @@ class Stasis:
             self.log_disk: SimDisk = FaultyDisk(
                 model,
                 self.clock,
-                name=f"{model.name}-log",
+                name=f"{log_model.name}-log",
                 runtime=runtime,
                 plan=fault_plan,
             )
             if retry is None:
                 retry = RetryPolicy()
+        elif data_stripes > 1:
+            self.data_disk = StripedDisk(
+                model,
+                self.clock,
+                stripes=data_stripes,
+                chunk_bytes=stripe_chunk_bytes,
+                name=f"{model.name}-data",
+                runtime=runtime,
+                capacity_bytes=capacity_bytes,
+            )
+            self.log_disk = SimDisk(
+                log_model, self.clock, name=f"{log_model.name}-log", runtime=runtime
+            )
         else:
             self.data_disk = SimDisk(
                 model,
@@ -93,7 +118,7 @@ class Stasis:
                 capacity_bytes=capacity_bytes,
             )
             self.log_disk = SimDisk(
-                model, self.clock, name=f"{model.name}-log", runtime=runtime
+                log_model, self.clock, name=f"{log_model.name}-log", runtime=runtime
             )
         self.retry_policy = retry
         self.retry = (
@@ -162,12 +187,36 @@ class Stasis:
         metrics = self.runtime.metrics
         data = f"disk.{self.data_disk.name}"
         log = f"disk.{self.log_disk.name}"
+        # Background work can be queued beyond the foreground clock; the
+        # observation window ends at the furthest device horizon.
+        elapsed = max(
+            self.clock.now, self.data_disk.busy_until, self.log_disk.busy_until
+        )
+        busy = metrics.value(f"{data}.busy_seconds") + metrics.value(
+            f"{log}.busy_seconds"
+        )
+        bg_busy = metrics.value(f"{data}.bg_busy_seconds") + metrics.value(
+            f"{log}.bg_busy_seconds"
+        )
         return {
             "data_seeks": int(metrics.value(f"{data}.seeks")),
             "data_bytes_read": int(metrics.value(f"{data}.bytes_read")),
             "data_bytes_written": int(metrics.value(f"{data}.bytes_written")),
             "log_bytes_written": int(metrics.value(f"{log}.bytes_written")),
-            "busy_seconds": metrics.value(f"{data}.busy_seconds")
-            + metrics.value(f"{log}.busy_seconds"),
+            "busy_seconds": busy,
+            "fg_busy_seconds": busy - bg_busy,
+            "bg_busy_seconds": bg_busy,
+            "fg_wait_seconds": metrics.value(f"{data}.fg_wait_seconds")
+            + metrics.value(f"{log}.fg_wait_seconds"),
+            "data_utilization": (
+                metrics.value(f"{data}.busy_seconds") / elapsed
+                if elapsed > 0
+                else 0.0
+            ),
+            "log_utilization": (
+                metrics.value(f"{log}.busy_seconds") / elapsed
+                if elapsed > 0
+                else 0.0
+            ),
             "buffer_hit_rate": self.buffer.hit_rate,
         }

@@ -22,10 +22,20 @@ class LatencyStats:
     def __init__(self) -> None:
         self._samples: list[float] = []
         self._sorted = True
+        self._max = 0.0
 
     def record(self, seconds: float) -> None:
         self._samples.append(seconds)
         self._sorted = False
+        if seconds > self._max:
+            self._max = seconds
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another collector's samples into this one."""
+        self._samples.extend(other._samples)
+        self._sorted = False
+        if other._max > self._max:
+            self._max = other._max
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -42,7 +52,9 @@ class LatencyStats:
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        # Maintained incrementally in record(); a rescan here costs O(n)
+        # per access and benchmarks read it once per window.
+        return self._max
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (0-100), nearest-rank."""
@@ -169,10 +181,20 @@ class Window:
 
 @dataclass
 class Timeseries:
-    """Windowed ops/sec and latency over virtual time (Figures 7, 9)."""
+    """Windowed ops/sec and latency over virtual time (Figures 7, 9).
+
+    The final window is usually *partial*: observation ends mid-window
+    when the run stops.  Dividing its op count by the full window length
+    would show a spurious throughput dip at the tail of a plot, so the
+    harness records the end of observation (:attr:`end_time`) and the
+    final window is scaled by the time actually observed in it.
+    """
 
     window_seconds: float
     windows: list[Window] = field(default_factory=list)
+    end_time: float | None = None
+    """When observation stopped (virtual seconds).  ``None`` means
+    unknown; the final window is then assumed complete."""
 
     def record(self, t: float, latency: float) -> None:
         index = int(t / self.window_seconds)
@@ -185,9 +207,21 @@ class Timeseries:
         window.latency_sum += latency
         window.latency_max = max(window.latency_max, latency)
 
+    def window_duration(self, index: int) -> float:
+        """Observed duration of window ``index`` (the final window is
+        truncated at :attr:`end_time` when that is known)."""
+        window = self.windows[index]
+        if self.end_time is not None and index == len(self.windows) - 1:
+            observed = self.end_time - window.start
+            if 0.0 < observed < self.window_seconds:
+                return observed
+        return self.window_seconds
+
     def throughputs(self) -> list[float]:
-        """Ops/sec per window."""
-        return [w.ops / self.window_seconds for w in self.windows]
+        """Ops/sec per window, partial final window scaled."""
+        return [
+            w.ops / self.window_duration(i) for i, w in enumerate(self.windows)
+        ]
 
     def max_latencies(self) -> list[float]:
         return [w.latency_max for w in self.windows]
@@ -195,6 +229,6 @@ class Timeseries:
     def rows(self) -> list[tuple[float, float, float, float]]:
         """(window start, ops/sec, mean latency, max latency) rows."""
         return [
-            (w.start, w.ops / self.window_seconds, w.mean_latency, w.latency_max)
-            for w in self.windows
+            (w.start, w.ops / self.window_duration(i), w.mean_latency, w.latency_max)
+            for i, w in enumerate(self.windows)
         ]

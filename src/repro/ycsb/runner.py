@@ -44,8 +44,7 @@ class RunResult:
         """Latency stats pooled across operation kinds."""
         pooled = LatencyStats()
         for stats in self.latencies.values():
-            pooled._samples.extend(stats._samples)
-            pooled._sorted = False
+            pooled.merge(stats)
         return pooled
 
     def summary(self) -> dict[str, Any]:
@@ -156,6 +155,8 @@ def load_phase(
             if series is not None:
                 series.record(before - start, latency)
     elapsed = engine.clock.now - start
+    if series is not None:
+        series.end_time = elapsed
     return RunResult(
         engine=engine.name,
         operations=spec.record_count,
@@ -217,6 +218,8 @@ def run_workload(
             series.record(issued - start, latency)
         operations += 1
     elapsed = engine.clock.now - start
+    if series is not None:
+        series.end_time = elapsed
     return RunResult(
         engine=engine.name,
         operations=operations,
@@ -231,7 +234,9 @@ def run_workload(
 def _io_delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
     delta: dict[str, Any] = {}
     for key, value in after.items():
-        if isinstance(value, (int, float)) and key in before:
+        if key.endswith(("_utilization", "_rate")):
+            delta[key] = value  # ratios are snapshots, not counters
+        elif isinstance(value, (int, float)) and key in before:
             delta[key] = value - before[key]
         else:
             delta[key] = value

@@ -47,6 +47,30 @@ class TestLatencyStats:
         for key in ("count", "mean", "p50", "p95", "p99", "max"):
             assert key in summary
 
+    def test_running_max_tracks_every_record(self):
+        stats = LatencyStats()
+        for value in (3.0, 7.0, 2.0, 5.0):
+            stats.record(value)
+            assert stats.max == max(stats._samples)
+        # max survives the lazy sort percentile() performs
+        stats.percentile(50)
+        assert stats.max == 7.0
+
+    def test_merge_preserves_samples_and_max(self):
+        a, b = LatencyStats(), LatencyStats()
+        for value in (1.0, 9.0):
+            a.record(value)
+        for value in (4.0, 2.0):
+            b.record(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.max == 9.0
+        assert a.percentile(100) == 9.0
+        b2 = LatencyStats()
+        b2.record(20.0)
+        a.merge(b2)
+        assert a.max == 20.0
+
 
 class TestTimeseries:
     def test_windows_partition_time(self):
@@ -79,3 +103,50 @@ class TestTimeseries:
         rows = series.rows()
         assert rows[0][0] == 0.0
         assert rows[0][1] == pytest.approx(2.0)
+
+
+class TestPartialFinalWindow:
+    """Regression: the final partial window must not show a spurious
+    throughput dip from dividing by the full window length."""
+
+    def test_partial_window_is_scaled(self):
+        series = Timeseries(window_seconds=1.0)
+        # Steady 4 ops/sec for 1.25 seconds of observation.
+        for i in range(5):
+            series.record(i * 0.25, 0.01)
+        series.end_time = 1.25
+        throughputs = series.throughputs()
+        assert throughputs[0] == pytest.approx(4.0)
+        # Final window observed one op in 0.25s: 4 ops/sec, not 1.
+        assert throughputs[-1] == pytest.approx(4.0)
+        assert series.rows()[-1][1] == pytest.approx(4.0)
+
+    def test_without_end_time_windows_are_full(self):
+        series = Timeseries(window_seconds=1.0)
+        series.record(0.5, 0.01)
+        assert series.throughputs() == [1.0]
+
+    def test_end_time_on_window_boundary_changes_nothing(self):
+        series = Timeseries(window_seconds=1.0)
+        series.record(0.5, 0.01)
+        series.record(1.5, 0.01)
+        series.end_time = 2.0
+        assert series.throughputs() == [1.0, 1.0]
+
+    def test_full_windows_unaffected_by_end_time(self):
+        series = Timeseries(window_seconds=1.0)
+        for t in (0.1, 0.9, 1.1, 2.05):
+            series.record(t, 0.01)
+        series.end_time = 2.1
+        throughputs = series.throughputs()
+        assert throughputs[0] == pytest.approx(2.0)
+        assert throughputs[1] == pytest.approx(1.0)
+        assert throughputs[2] == pytest.approx(10.0)
+
+    def test_window_duration_clamps_to_positive(self):
+        series = Timeseries(window_seconds=1.0)
+        series.record(0.5, 0.01)
+        # A bogus end_time at/before the window start falls back to the
+        # full window rather than dividing by zero.
+        series.end_time = 0.0
+        assert series.throughputs() == [1.0]

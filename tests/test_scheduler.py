@@ -99,3 +99,57 @@ def test_schedulers_produce_identical_contents():
         tree.drain()
         results[name] = sorted(tree.scan(b""))
     assert results["naive"] == results["gear"] == results["spring_gear"]
+
+
+class TestPerTickLatencyBound:
+    """The scheduler's documented contract: one on_write never performs
+    more than ``max_tick_bytes`` of merge work while C0 is below the
+    forced-drain threshold.  SpringGearScheduler used to cap its m01
+    budget, deficit12 step and blocked-promotion step *independently*,
+    spending up to ~2x the cap in one tick."""
+
+    @pytest.mark.parametrize("scheduler", ["gear", "spring_gear"])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_on_write_merge_work_bounded(self, scheduler, seed):
+        # Large values against a small cap saturate the m01 budget while
+        # an m12 deficit is open — the exact state where the pre-fix
+        # spring gear double-spent (it reached ~2.6x max_tick here).
+        max_tick = 16 * 1024
+        value_max = 4096
+        options = BLSMOptions(
+            c0_bytes=64 * 1024,
+            scheduler=scheduler,
+            max_tick_bytes=max_tick,
+        )
+        tree = BLSM(options)
+        metrics = tree.runtime.metrics
+
+        def merge_bytes():
+            return metrics.value("merge.c0c1.bytes") + metrics.value(
+                "merge.c1c2.bytes"
+            )
+
+        def full_events():
+            return metrics.value("memtable.full_events")
+
+        rng = random.Random(seed)
+        # Each of the (at most two) merge steps a tick dispatches may
+        # overshoot its budget by the final record it emits, so the
+        # documented bound is max_tick plus two worst-case records.
+        slack = 2 * (value_max + 64)
+        violations = []
+        for i in range(4000):
+            key = ("k%08d" % rng.randrange(2000)).encode()
+            before_bytes = merge_bytes()
+            before_full = full_events()
+            tree.put(key, bytes(rng.randrange(1024, value_max)))
+            worked = merge_bytes() - before_bytes
+            if full_events() != before_full:
+                continue  # forced drain: the bound deliberately yields
+            if worked > max_tick + slack:
+                violations.append((i, worked))
+        assert not violations, (
+            f"{scheduler} exceeded max_tick_bytes={max_tick} "
+            f"on {len(violations)} writes, worst={max(v for _, v in violations)}"
+        )
+        tree.close()
