@@ -7,6 +7,11 @@ The package provides:
   Bloom-filtered LSM-Tree with the spring-and-gear merge scheduler;
 * :class:`BTreeEngine` and :class:`LevelDBEngine` — the evaluation's
   update-in-place and leveled-LSM baselines;
+* :class:`ShardedEngine` — a hash/range-partitioned router over
+  independent per-shard trees with a batched API (``multi_get`` /
+  ``apply_batch``) whose cost is the max of per-shard device time;
+* :func:`build_engine` / :data:`ENGINE_NAMES` — the engine registry
+  every entry point (CLI, bench, crash harness) builds through;
 * :mod:`repro.ycsb` — a YCSB-style workload generator and runner;
 * :mod:`repro.sim` — the simulated devices and virtual clock everything
   runs on;
@@ -34,10 +39,13 @@ from repro.baselines import (
     KVEngine,
     LevelDBEngine,
     PartitionedBLSMEngine,
+    WriteBatch,
 )
 from repro.core import BLSM, BLSMOptions, PartitionedBLSM
+from repro.engines import ENGINE_NAMES, EngineConfig, build_engine
 from repro.faults import FaultPlan, FaultRule, FaultyDisk, RetryPolicy
 from repro.obs import EngineRuntime, MetricsRegistry, TraceRecorder
+from repro.shard import HashPartitioner, RangePartitioner, ShardedEngine
 from repro.sim import DiskModel, IOStats, SimDisk, VirtualClock
 from repro.storage import DurabilityMode, EvictionPolicy, Stasis
 
@@ -51,20 +59,27 @@ __all__ = [
     "BTreeEngine",
     "DiskModel",
     "DurabilityMode",
+    "ENGINE_NAMES",
+    "EngineConfig",
     "EngineRuntime",
     "EvictionPolicy",
     "FaultPlan",
     "FaultRule",
     "FaultyDisk",
+    "HashPartitioner",
     "IOStats",
     "KVEngine",
     "LevelDBEngine",
     "MetricsRegistry",
     "PartitionedBLSM",
     "PartitionedBLSMEngine",
+    "RangePartitioner",
     "RetryPolicy",
+    "ShardedEngine",
     "SimDisk",
     "Stasis",
     "TraceRecorder",
     "VirtualClock",
+    "WriteBatch",
+    "build_engine",
 ]

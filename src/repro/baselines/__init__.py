@@ -14,7 +14,13 @@
 from repro.baselines.bitcask_engine import BitCaskEngine
 from repro.baselines.blsm_engine import BLSMEngine
 from repro.baselines.btree_engine import BTreeEngine
-from repro.baselines.interface import KVEngine
+from repro.baselines.interface import (
+    IO_SUMMARY_KEYS,
+    KVEngine,
+    WriteBatch,
+    build_io_summary,
+    validate_io_summary,
+)
 from repro.baselines.leveldb_engine import LevelDBEngine
 from repro.baselines.partitioned_engine import PartitionedBLSMEngine
 
@@ -22,7 +28,11 @@ __all__ = [
     "BitCaskEngine",
     "BLSMEngine",
     "BTreeEngine",
+    "IO_SUMMARY_KEYS",
     "KVEngine",
     "LevelDBEngine",
     "PartitionedBLSMEngine",
+    "WriteBatch",
+    "build_io_summary",
+    "validate_io_summary",
 ]

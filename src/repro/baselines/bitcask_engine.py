@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
-from repro.baselines.interface import KVEngine
+from repro.baselines.interface import KVEngine, build_io_summary
 from repro.errors import EngineClosedError
 from repro.obs.runtime import EngineRuntime
 from repro.records import RECORD_HEADER_BYTES, apply_delta
@@ -147,15 +147,20 @@ class BitCaskEngine(KVEngine):
 
     def io_summary(self) -> dict[str, Any]:
         stats = self.disk.stats
-        return {
-            "data_seeks": stats.seeks,
-            "data_bytes_read": stats.bytes_read,
-            "data_bytes_written": stats.bytes_written,
-            "log_bytes_written": 0,  # the data log IS the log
-            "busy_seconds": stats.busy_seconds,
-            "compactions": self.compactions,
-            "garbage_fraction": self.garbage_fraction,
-        }
+        elapsed = max(self._clock.now, self.disk.busy_until)
+        utilization = stats.busy_seconds / elapsed if elapsed > 0 else 0.0
+        return build_io_summary(
+            data_seeks=stats.seeks,
+            data_bytes_read=stats.bytes_read,
+            data_bytes_written=stats.bytes_written,
+            log_bytes_written=0,  # the data log IS the log
+            busy_seconds=stats.busy_seconds,
+            fg_wait_seconds=stats.queue_wait_seconds,
+            data_utilization=utilization,
+            log_utilization=utilization,  # same device plays both roles
+            compactions=self.compactions,
+            garbage_fraction=self.garbage_fraction,
+        )
 
     # ------------------------------------------------------------------
     # Internals

@@ -9,11 +9,141 @@ systems under the same YCSB workloads (Section 5.1).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.obs.runtime import EngineRuntime
 from repro.obs.trace import TraceEvent
 from repro.sim.clock import VirtualClock
+
+#: Keys every engine's :meth:`KVEngine.io_summary` must provide.  The
+#: schema is the paper's benchmark vocabulary: seek counts and byte
+#: counters for the data device, bytes appended to the log device, and
+#: the busy/utilization attribution PR 3's device timelines introduced.
+#: Engines may add engine-specific extras (``partitions``,
+#: ``compactions``, ``l0_files`` ...) on top, but never omit these.
+IO_SUMMARY_KEYS = frozenset(
+    {
+        "data_seeks",
+        "data_bytes_read",
+        "data_bytes_written",
+        "log_bytes_written",
+        "busy_seconds",
+        "fg_busy_seconds",
+        "bg_busy_seconds",
+        "fg_wait_seconds",
+        "data_utilization",
+        "log_utilization",
+    }
+)
+
+
+def build_io_summary(
+    *,
+    data_seeks: int,
+    data_bytes_read: int,
+    data_bytes_written: int,
+    log_bytes_written: int,
+    busy_seconds: float,
+    fg_busy_seconds: float | None = None,
+    bg_busy_seconds: float = 0.0,
+    fg_wait_seconds: float = 0.0,
+    data_utilization: float = 0.0,
+    log_utilization: float = 0.0,
+    **extra: Any,
+) -> dict[str, Any]:
+    """Assemble an :meth:`KVEngine.io_summary` dict in the shared schema.
+
+    Engines that do not run on the Stasis substrate (and therefore
+    cannot delegate to ``Stasis.io_summary``) build their dict through
+    this helper instead of hand-rolling keys, so every engine reports
+    the same vocabulary.  ``fg_busy_seconds`` defaults to all busy time
+    not attributed to background work.
+    """
+    if fg_busy_seconds is None:
+        fg_busy_seconds = busy_seconds - bg_busy_seconds
+    summary: dict[str, Any] = {
+        "data_seeks": int(data_seeks),
+        "data_bytes_read": int(data_bytes_read),
+        "data_bytes_written": int(data_bytes_written),
+        "log_bytes_written": int(log_bytes_written),
+        "busy_seconds": busy_seconds,
+        "fg_busy_seconds": fg_busy_seconds,
+        "bg_busy_seconds": bg_busy_seconds,
+        "fg_wait_seconds": fg_wait_seconds,
+        "data_utilization": data_utilization,
+        "log_utilization": log_utilization,
+    }
+    summary.update(extra)
+    return summary
+
+
+def validate_io_summary(
+    summary: dict[str, Any], engine: str = "engine"
+) -> dict[str, Any]:
+    """Check a summary against :data:`IO_SUMMARY_KEYS`; raise on drift.
+
+    The contract tests run every engine's summary through this, so a
+    missing or misspelled key fails loudly instead of silently reading
+    as zero in benchmark tables.
+    """
+    missing = IO_SUMMARY_KEYS - summary.keys()
+    if missing:
+        raise ValueError(
+            f"{engine} io_summary() missing keys: {sorted(missing)}"
+        )
+    return summary
+
+
+class WriteBatch:
+    """An ordered group of mutations applied through one engine call.
+
+    The batch is the unit the sharded engine fans out: grouping writes
+    lets a router overlap per-shard device time so the batch costs the
+    *max*, not the sum, of shard service.  On a single-tree engine the
+    default :meth:`KVEngine.apply_batch` applies the operations in
+    order, so batches are purely an API-shape change there.
+    """
+
+    __slots__ = ("_ops",)
+
+    PUT = "put"
+    DELETE = "delete"
+    DELTA = "delta"
+
+    def __init__(self) -> None:
+        self._ops: list[tuple[str, bytes, bytes | None]] = []
+
+    def put(self, key: bytes, value: bytes) -> "WriteBatch":
+        """Queue a blind write; returns self for chaining."""
+        self._ops.append((self.PUT, key, value))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        """Queue a tombstone write; returns self for chaining."""
+        self._ops.append((self.DELETE, key, None))
+        return self
+
+    def apply_delta(self, key: bytes, delta: bytes) -> "WriteBatch":
+        """Queue a partial update; returns self for chaining."""
+        self._ops.append((self.DELTA, key, delta))
+        return self
+
+    def extend(self, other: "WriteBatch") -> "WriteBatch":
+        """Append another batch's operations, preserving order."""
+        self._ops.extend(other._ops)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[tuple[str, bytes, bytes | None]]:
+        return iter(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    def __repr__(self) -> str:
+        return f"WriteBatch({len(self._ops)} ops)"
 
 
 class KVEngine(ABC):
@@ -98,12 +228,54 @@ class KVEngine(ABC):
     def apply_delta(self, key: bytes, delta: bytes) -> None:
         """Apply a partial update to a record."""
 
+    def multi_get(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Point-look up several keys; results align with ``keys``.
+
+        The default performs the lookups sequentially, so every engine
+        supports the batched read surface; engines that can overlap the
+        lookups (the sharded router) override this and return in max-
+        instead of sum-of-device-time.
+        """
+        return [self.get(key) for key in keys]
+
+    def apply_batch(self, batch: "WriteBatch | Iterable[tuple[str, bytes, bytes | None]]") -> None:
+        """Apply a :class:`WriteBatch`'s mutations in order.
+
+        The default applies sequentially.  Engines with a parallel write
+        path (the sharded router) override this to overlap per-shard
+        device time.
+        """
+        for op, key, value in batch:
+            if op == WriteBatch.PUT:
+                assert value is not None
+                self.put(key, value)
+            elif op == WriteBatch.DELETE:
+                self.delete(key)
+            elif op == WriteBatch.DELTA:
+                assert value is not None
+                self.apply_delta(key, value)
+            else:
+                raise ValueError(f"unknown batch op {op!r}")
+
     def read_modify_write(
         self, key: bytes, update: Callable[[bytes | None], bytes]
     ) -> bytes:
-        """Read the value, transform it, write it back."""
+        """Read the value, transform it, write it back.
+
+        The write-back routes through :meth:`apply_batch` when the
+        engine overrides it (so a sharded engine applies the write on
+        the owning shard's timeline); engines on the default batch path
+        keep the direct :meth:`put`.  Either way an ``rmw`` trace event
+        attributes the op (YCSB workload F) in ``repro trace``.
+        """
         new_value = update(self.get(key))
-        self.put(key, new_value)
+        if type(self).apply_batch is not KVEngine.apply_batch:
+            self.apply_batch(WriteBatch().put(key, new_value))
+        else:
+            self.put(key, new_value)
+        runtime = self.runtime
+        if runtime is not None:
+            runtime.trace.emit("rmw", key=key, nbytes=len(new_value))
         return new_value
 
     @abstractmethod
@@ -116,8 +288,18 @@ class KVEngine(ABC):
 
     @abstractmethod
     def io_summary(self) -> dict[str, Any]:
-        """Device counters for benchmark reporting."""
+        """Device counters for benchmark reporting.
+
+        Must contain every key in :data:`IO_SUMMARY_KEYS`; build the
+        dict with :func:`build_io_summary` (or delegate to
+        ``Stasis.io_summary``) rather than hand-rolling keys.
+        """
 
     def seeks(self) -> int:
-        """Data-device seeks so far (read-amplification audits)."""
-        return int(self.io_summary().get("data_seeks", 0))
+        """Data-device seeks so far (read-amplification audits).
+
+        Indexes the summary directly: an engine whose summary drifted
+        from the shared schema raises ``KeyError`` here instead of
+        silently reporting zero seeks.
+        """
+        return int(self.io_summary()["data_seeks"])

@@ -17,26 +17,26 @@ from typing import Sequence
 
 from repro.analysis import cache_gb_table, figure2_series
 from repro.analysis.five_minute import STANDARD_DEVICES
-from repro.baselines import (
-    BitCaskEngine,
-    BLSMEngine,
-    BTreeEngine,
-    KVEngine,
-    LevelDBEngine,
-    PartitionedBLSMEngine,
+from repro.baselines import KVEngine
+from repro.engines import (
+    CRASH_ENGINE_NAMES,
+    ENGINE_NAMES,
+    EngineConfig,
+    build_engine,
 )
-from repro.core import BLSMOptions
 from repro.sim import DiskModel
 from repro.ycsb import (
     OpKind,
     WorkloadSpec,
     load_phase,
+    run_batched_workload,
     run_workload,
     standard_workload,
 )
 
-ENGINES = ("blsm", "blsm-part", "btree", "leveldb", "bitcask")
+ENGINES = ENGINE_NAMES  # single source of truth: repro.engines
 DISKS = ("hdd", "ssd", "single-hdd")
+PARTITIONERS = ("hash", "range")
 
 
 def _disk(name: str) -> DiskModel:
@@ -78,66 +78,30 @@ def _engine(
     log_disk: DiskModel | None = None,
     data_stripes: int = 1,
     background_merges: bool = False,
+    shards: int = 4,
+    partitioner: str = "hash",
+    partitioner_sample: tuple[bytes, ...] | None = None,
 ) -> KVEngine:
-    from repro.storage import DurabilityMode
-
-    mode = DurabilityMode(durability)
-    if fault_plan is not None and name not in ("blsm", "blsm-part"):
-        raise SystemExit(
-            f"--fault-* flags require a bLSM engine, not {name!r}"
-        )
-    placement = (log_disk, data_stripes, background_merges)
-    if placement != (None, 1, False) and name not in ("blsm", "blsm-part"):
-        raise SystemExit(
-            "--log-device/--data-stripes/--background-merges require a "
-            f"bLSM engine, not {name!r}"
-        )
-    if name == "blsm":
-        return BLSMEngine(
-            BLSMOptions(
-                c0_bytes=c0_bytes,
-                buffer_pool_pages=cache_pages,
-                disk_model=disk,
-                durability=mode,
-                compression_ratio=compression,
-                scheduler=scheduler,
-                fault_plan=fault_plan,
-                log_disk_model=log_disk,
-                data_stripes=data_stripes,
-                background_merges=background_merges,
-            )
-        )
-    if name == "blsm-part":
-        return PartitionedBLSMEngine(
-            BLSMOptions(
-                c0_bytes=c0_bytes,
-                buffer_pool_pages=cache_pages,
-                disk_model=disk,
-                durability=mode,
-                compression_ratio=compression,
-                scheduler=scheduler,
-                fault_plan=fault_plan,
-                log_disk_model=log_disk,
-                data_stripes=data_stripes,
-                background_merges=background_merges,
-            )
-        )
-    if name == "btree":
-        return BTreeEngine(
-            disk_model=disk,
-            buffer_pool_pages=max(2, cache_pages // 4),  # 16 KB pages
-        )
-    if name == "bitcask":
-        return BitCaskEngine(disk_model=disk)
-    if name == "leveldb":
-        return LevelDBEngine(
-            disk_model=disk,
-            memtable_bytes=max(4096, c0_bytes // 8),
-            file_bytes=max(16 * 1024, c0_bytes // 2),
-            level_base_bytes=2 * c0_bytes,
-            buffer_pool_pages=cache_pages,
-        )
-    raise ValueError(f"unknown engine {name!r}")
+    """Build an engine via the registry; flag misuse exits, not tracebacks."""
+    config = EngineConfig(
+        disk=disk,
+        c0_bytes=c0_bytes,
+        cache_pages=cache_pages,
+        durability=durability,
+        compression=compression,
+        scheduler=scheduler,
+        fault_plan=fault_plan,
+        log_disk=log_disk,
+        data_stripes=data_stripes,
+        background_merges=background_merges,
+        shards=shards,
+        partitioner=partitioner,
+        partitioner_sample=partitioner_sample,
+    )
+    try:
+        return build_engine(name, config)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _workload_spec(args: argparse.Namespace) -> WorkloadSpec:
@@ -176,15 +140,35 @@ def _placement(args: argparse.Namespace) -> dict:
     }
 
 
+def _sharding(args: argparse.Namespace, spec: WorkloadSpec) -> dict:
+    """Sharding kwargs from --shards/--partitioner flags.
+
+    A range partitioner needs balanced boundaries, so it is seeded with
+    the workload's own load keys (the sample every deployment would
+    have: the keys it is about to load).
+    """
+    partitioner = getattr(args, "partitioner", "hash")
+    sample: tuple[bytes, ...] | None = None
+    if partitioner == "range":
+        from repro.ycsb.generator import OperationGenerator
+
+        sample = tuple(OperationGenerator(spec).load_keys())
+    return {
+        "shards": getattr(args, "shards", 4),
+        "partitioner": partitioner,
+        "partitioner_sample": sample,
+    }
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     disk = _disk(args.disk)
+    spec = _workload_spec(args)
     engine = _engine(
         args.engine, disk, args.c0_bytes, args.cache_pages,
         durability=args.durability, compression=args.compression,
         scheduler=args.scheduler, fault_plan=_fault_plan(args),
-        **_placement(args),
+        **_placement(args), **_sharding(args, spec),
     )
-    spec = _workload_spec(args)
     print(
         f"engine={engine.name} disk={disk.name} records={spec.record_count} "
         f"ops={spec.operation_count} dist={spec.request_distribution}"
@@ -309,17 +293,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import (
         format_device_summary,
         format_fault_summary,
+        format_shard_summary,
         format_summary,
     )
 
     disk = _disk(args.disk)
+    spec = _workload_spec(args)
     engine = _engine(
         args.engine, disk, args.c0_bytes, args.cache_pages,
         durability=args.durability, compression=args.compression,
         scheduler=args.scheduler, fault_plan=_fault_plan(args),
-        **_placement(args),
+        **_placement(args), **_sharding(args, spec),
     )
-    spec = _workload_spec(args)
     load_phase(engine, spec, seed=args.seed)
     if spec.operation_count > 0:
         run_workload(engine, spec, seed=args.seed + 1)
@@ -338,6 +323,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for line in format_summary(events):
             print(line)
         for line in format_device_summary(runtime):
+            print(line)
+        for line in format_shard_summary(engine):
             print(line)
         for line in format_fault_summary(runtime.metrics):
             print(line)
@@ -365,6 +352,78 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     )
     print(format_report(report))
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Batched uniform-read throughput (YCSB C issued in client batches).
+
+    Measures the tentpole claim of the sharded engine: a batch fans out
+    across shards and costs the *max* of the per-shard device time, so N
+    shards approach N-fold throughput on uniform reads.  With
+    ``--baseline`` it runs the identical workload on a single-tree
+    engine and prints the speedup; ``--assert-speedup X`` turns the run
+    into a pass/fail gate (CI uses ``--baseline-stripes`` to give the
+    baseline the same total device budget as the shards).
+    """
+    disk = _disk(args.disk)
+    spec = WorkloadSpec(
+        record_count=args.records,
+        operation_count=args.ops,
+        read_proportion=1.0,
+        request_distribution="uniform",
+        value_bytes=args.value_bytes,
+    )
+
+    def measure(name: str, **overrides):
+        engine = _engine(
+            name, disk, args.c0_bytes, args.cache_pages, **overrides
+        )
+        load_phase(engine, spec, seed=args.seed, batch_size=args.batch)
+        result = run_batched_workload(
+            engine, spec, seed=args.seed + 1, batch_size=args.batch
+        )
+        return engine, result
+
+    engine, result = measure(args.engine, **_sharding(args, spec))
+    print(
+        f"engine={engine.name} disk={disk.name} records={spec.record_count} "
+        f"ops={spec.operation_count} batch={args.batch}"
+    )
+    batch = result.batch
+    detail = ""
+    if batch is not None and batch.batches > 0:
+        detail = (
+            f"   {batch.batches} batches, "
+            f"mean batch {batch.latency.mean * 1e3:.2f} ms"
+        )
+    print(f"run  : {result.throughput:12,.0f} ops/s{detail}")
+    from repro.obs import format_shard_summary
+
+    for line in format_shard_summary(engine):
+        print(line)
+    engine.close()
+    if args.baseline == "none":
+        return 0
+    base_engine, base_result = measure(
+        args.baseline, data_stripes=args.baseline_stripes
+    )
+    if base_result.throughput > 0:
+        speedup = result.throughput / base_result.throughput
+    else:
+        speedup = float("inf")
+    print(
+        f"base : {base_result.throughput:12,.0f} ops/s "
+        f"({base_engine.name}, {args.baseline_stripes} data device(s))"
+    )
+    print(f"speedup: {speedup:.2f}x")
+    base_engine.close()
+    if args.assert_speedup > 0 and speedup < args.assert_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.assert_speedup:.2f}x"
+        )
+        return 1
+    return 0
 
 
 def _cmd_cache_table(args: argparse.Namespace) -> int:
@@ -493,6 +552,15 @@ def build_parser() -> argparse.ArgumentParser:
         "it to the writer (bLSM engines only)",
     )
     workload.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="shard count for the sharded engine",
+    )
+    workload.add_argument(
+        "--partitioner", choices=PARTITIONERS, default="hash",
+        help="key placement policy for the sharded engine (range seeds "
+        "its boundaries from the workload's load keys)",
+    )
+    workload.add_argument(
         "--fault-transient", type=float, default=0.0, metavar="PROB",
         help="inject retryable I/O errors with this per-access probability "
         "(bLSM engines; absorbed by retry-with-backoff)",
@@ -566,6 +634,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.set_defaults(fn=_cmd_trace)
 
+    bench = sub.add_parser(
+        "bench",
+        help="batched uniform-read throughput; sharded scale-out gate",
+    )
+    bench.add_argument("--engine", choices=ENGINES, default="sharded")
+    bench.add_argument("--disk", choices=DISKS, default="hdd")
+    bench.add_argument("--records", type=int, default=3000)
+    bench.add_argument("--ops", type=int, default=2000)
+    bench.add_argument("--value-bytes", type=int, default=1000)
+    bench.add_argument(
+        "--batch", type=int, default=64, metavar="N",
+        help="operations per client batch (multi_get/apply_batch size)",
+    )
+    bench.add_argument("--shards", type=int, default=4, metavar="N")
+    bench.add_argument(
+        "--partitioner", choices=PARTITIONERS, default="hash"
+    )
+    bench.add_argument("--c0-bytes", type=int, default=64 * 1024)
+    bench.add_argument("--cache-pages", type=int, default=16)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--baseline", choices=ENGINES + ("none",), default="blsm",
+        help="single-tree engine to compare against (none skips it)",
+    )
+    bench.add_argument(
+        "--baseline-stripes", type=int, default=1, metavar="N",
+        help="data devices for the baseline (match --shards to give it "
+        "the same total device budget)",
+    )
+    bench.add_argument(
+        "--assert-speedup", type=float, default=0.0, metavar="X",
+        help="exit 1 unless engine throughput >= X times the baseline's",
+    )
+    bench.set_defaults(fn=_cmd_bench)
+
     selfcheck = sub.add_parser(
         "selfcheck", help="model-check every engine (fast release gate)"
     )
@@ -578,7 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash at every Nth I/O boundary, recover, verify durability",
     )
     crashtest.add_argument(
-        "--engine", choices=("blsm", "partitioned"), default="blsm"
+        "--engine", choices=CRASH_ENGINE_NAMES, default="blsm"
     )
     crashtest.add_argument(
         "--ops", type=int, default=500,

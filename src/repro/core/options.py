@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
@@ -167,3 +167,21 @@ class BLSMOptions:
                 "fault injection is not supported on a striped data device "
                 "(the crash-point harness needs one serial access sequence)"
             )
+
+
+def derive_shard_options(options: BLSMOptions, index: int) -> BLSMOptions:
+    """Per-shard copy of ``options`` for one member of a sharded fleet.
+
+    Each shard is an independent tree over its own device set; the only
+    field that must differ is the skip-list ``seed`` (identical seeds
+    would make every shard's memtable towers — and hence CPU-side
+    behaviour — eerily correlated).  A shared ``fault_plan`` is
+    rejected: its access counter assumes one serial device-access
+    sequence, which N independent shard device sets do not produce.
+    """
+    if options.fault_plan is not None:
+        raise ValueError(
+            "fault injection is not supported on a sharded engine "
+            "(the crash-point harness needs one serial access sequence)"
+        )
+    return replace(options, seed=options.seed + index)

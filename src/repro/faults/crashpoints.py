@@ -14,9 +14,12 @@ classmethod, and verifies the recovered store against a shadow model:
 * the single in-flight operation may surface as either its old or its
   new value — both outcomes are durable-by-contract.
 
-This package sits *above* the engine layer, so engines are imported
-lazily inside functions — ``repro.faults`` itself stays importable from
-the storage layer below.
+This package sits *above* the engine layer, so the engine registry is
+imported lazily inside functions — ``repro.faults`` itself stays
+importable from the storage layer below.  Which trees can be enumerated
+and how they are built/recovered lives in :mod:`repro.engines`
+(``CRASH_ENGINE_NAMES`` / ``build_crash_tree`` / ``recover_crash_tree``),
+the same registry the CLI draws from.
 """
 
 from __future__ import annotations
@@ -27,9 +30,6 @@ from typing import Any, Callable
 
 from repro.errors import CrashPoint
 from repro.faults.plan import FaultPlan
-from repro.storage.logical_log import DurabilityMode
-
-_ENGINES = ("blsm", "partitioned")
 
 
 @dataclass
@@ -86,42 +86,11 @@ def scripted_workload(
     return script
 
 
-def _default_options(plan: FaultPlan | None, seed: int) -> Any:
-    # Small C0 and pool so a few hundred ops exercise merges, evictions
-    # and log truncation — the interesting crash surfaces.
-    from repro.core.options import BLSMOptions
+def _registry() -> Any:
+    # Lazy: the registry imports the whole engine layer above us.
+    from repro import engines
 
-    return BLSMOptions(
-        c0_bytes=6 * 1024,
-        buffer_pool_pages=16,
-        durability=DurabilityMode.SYNC,
-        fault_plan=plan,
-        seed=seed,
-    )
-
-
-def _build_engine(engine: str, plan: FaultPlan | None, seed: int) -> Any:
-    if engine == "blsm":
-        from repro.core.tree import BLSM
-
-        return BLSM(_default_options(plan, seed))
-    if engine == "partitioned":
-        from repro.core.partitioned import PartitionedBLSM
-
-        return PartitionedBLSM(
-            _default_options(plan, seed), max_partition_bytes=24 * 1024
-        )
-    raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
-
-
-def _recover_engine(engine: str, stasis: Any, options: Any) -> Any:
-    if engine == "blsm":
-        from repro.core.tree import BLSM
-
-        return BLSM.recover(stasis, options)
-    from repro.core.partitioned import PartitionedBLSM
-
-    return PartitionedBLSM.recover(stasis, options, max_partition_bytes=24 * 1024)
+    return engines
 
 
 def _run_script(
@@ -176,7 +145,7 @@ def count_workload_accesses(
 ) -> int:
     """Device accesses the scripted workload performs (crash candidates)."""
     plan = FaultPlan(seed=seed, armed=False)
-    tree = _build_engine(engine, plan, seed)
+    tree = _registry().build_crash_tree(engine, plan, seed)
     plan.arm()
     _run_script(tree, script, {})
     plan.disarm()
@@ -197,8 +166,12 @@ def enumerate_crash_points(
     access index ``k`` always names the ``k``-th device access *of the
     workload* — the same boundary in every run of the same script.
     """
-    if engine not in _ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    registry = _registry()
+    if engine not in registry.CRASH_ENGINE_NAMES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{registry.CRASH_ENGINE_NAMES}"
+        )
     if ops <= 0:
         raise ValueError(f"ops must be positive, got {ops}")
     if every <= 0:
@@ -218,7 +191,7 @@ def enumerate_crash_points(
     for access in range(1, total + 1, every):
         outcome = CrashOutcome(access_index=access, crashed=False, recovered=False)
         plan = FaultPlan.crash_at(access, seed=seed, armed=False)
-        tree = _build_engine(engine, plan, seed)
+        tree = registry.build_crash_tree(engine, plan, seed)
         model: dict[bytes, bytes | None] = {}
         in_flight: tuple[str, bytes, bytes | None] | None = None
         plan.arm()
@@ -239,7 +212,9 @@ def enumerate_crash_points(
         if outcome.crashed:
             report.crashes_triggered += 1
             tree.stasis.crash()
-            recovered = _recover_engine(engine, tree.stasis, tree.options)
+            recovered = registry.recover_crash_tree(
+                engine, tree.stasis, tree.options
+            )
             outcome.recovered = True
             _verify(recovered, model, in_flight, outcome)
         else:

@@ -14,6 +14,7 @@ from repro.obs.summary import (
     events_within,
     format_device_summary,
     format_fault_summary,
+    format_shard_summary,
     format_summary,
     merge_seconds_by_level,
     reconstruct_stalls,
@@ -34,6 +35,7 @@ __all__ = [
     "events_within",
     "format_device_summary",
     "format_fault_summary",
+    "format_shard_summary",
     "format_summary",
     "merge_seconds_by_level",
     "reconstruct_stalls",

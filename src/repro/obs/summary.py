@@ -179,6 +179,39 @@ def format_device_summary(runtime: Any) -> list[str]:
     return lines
 
 
+def format_shard_summary(engine: Any) -> list[str]:
+    """Per-shard load-balance rows for the CLI (sharded engines only).
+
+    One row per shard: ops routed to it, the share of the run it spent
+    servicing sub-batches (the load-balance picture — on uniform keys
+    the fractions should be near-equal), its own device utilization,
+    and its device counters.  Engines without a ``shard_rows`` surface
+    get an empty list, so single-tree summaries stay unchanged.
+    """
+    shard_rows = getattr(engine, "shard_rows", None)
+    if shard_rows is None:
+        return []
+    rows = shard_rows()
+    if not rows:
+        return []
+    lines = ["shards (load balance and utilization):"]
+    lines.append(
+        f"  {'shard':>5s} {'ops':>8s} {'busy':>10s} {'share':>7s} "
+        f"{'util':>6s} {'seeks':>8s} {'read':>9s} {'written':>9s}"
+    )
+    for row in rows:
+        lines.append(
+            f"  {row['shard']:>5d} {row['ops']:>8d} "
+            f"{row['busy_seconds'] * 1e3:8.2f}ms "
+            f"{row['busy_fraction'] * 100:5.1f}% "
+            f"{row['utilization'] * 100:5.1f}% "
+            f"{row['data_seeks']:>8d} "
+            f"{row['data_bytes_read'] / 1e6:7.1f}MB "
+            f"{row['data_bytes_written'] / 1e6:7.1f}MB"
+        )
+    return lines
+
+
 _FAULT_METRIC_LABELS = (
     ("faults.transient_errors", "transient I/O errors"),
     ("faults.torn_writes", "torn writes"),

@@ -1,0 +1,26 @@
+"""Sharded serving: a key router over independent bLSM shards.
+
+The paper's target deployment (Sections 1 and 6) is a PNUTS-style
+sharded web service; this package provides the router that turns N
+independent single-node trees into one
+:class:`~repro.baselines.interface.KVEngine` with batched operations
+whose cost is the max — not the sum — of per-shard device time.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    fnv1a_bytes,
+    make_partitioner,
+)
+
+__all__ = [
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardedEngine",
+    "fnv1a_bytes",
+    "make_partitioner",
+]

@@ -1,0 +1,437 @@
+"""A shard router over independent bLSM trees (Sections 1 and 6).
+
+The paper's deployment target is a PNUTS-style sharded web service: many
+independent storage nodes, each running one tree over its own devices.
+:class:`ShardedEngine` reproduces that topology inside one process: N
+complete shard engines — each with its own Stasis substrate, device set
+and virtual clock — behind the one :class:`~repro.baselines.interface.
+KVEngine` surface every benchmark already drives.
+
+Concurrency model (the same discipline as PR 3's background merges, one
+level up): each shard's clock is an independent position on the virtual
+time axis.  A batched operation fans sub-batches out to the shards they
+route to; every involved shard first catches up to the router's clock
+(an idle server cannot work in the past), then services its sub-batch on
+its *own* clock and devices.  The router completes the batch at the
+**max** of the shard completion times — not the sum — which is exactly
+the near-linear scaling lever sharding exists to buy.  Single-key
+operations degenerate to one shard and cost what they always did.
+
+Routing is delegated to a :class:`~repro.shard.partitioner.Partitioner`.
+With a resizable range partitioner, versions written before a boundary
+move live on their *old* owner; the router reads through the owner
+history and broadcasts tombstones to every historic owner, so scans and
+gets never resurrect a stale replica (see docs/sharding.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Sequence, TypeVar
+
+from repro.baselines.blsm_engine import BLSMEngine
+from repro.baselines.interface import (
+    KVEngine,
+    WriteBatch,
+    build_io_summary,
+)
+from repro.core.options import BLSMOptions, derive_shard_options
+from repro.obs.runtime import EngineRuntime
+from repro.shard.partitioner import HashPartitioner, Partitioner
+from repro.sim.clock import VirtualClock
+
+T = TypeVar("T")
+
+
+class ShardedEngine(KVEngine):
+    """Hash/range router over N independent shard engines."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        options: BLSMOptions | None = None,
+        shards: int = 4,
+        partitioner: Partitioner | None = None,
+        engine_factory: Callable[[int, BLSMOptions], KVEngine] | None = None,
+    ) -> None:
+        """Build ``shards`` independent engines and a router over them.
+
+        Args:
+            options: per-shard tree configuration; each shard gets its
+                own copy (see ``derive_shard_options``) and therefore
+                its own device set.  ``fault_plan`` must be unset — the
+                crash-point harness needs one serial access sequence,
+                which N independent device sets do not provide.
+            partitioner: placement policy; defaults to
+                :class:`HashPartitioner` over ``shards``.
+            engine_factory: ``(shard_index, options) -> KVEngine``
+                override for building non-bLSM shards.
+        """
+        opts = options if options is not None else BLSMOptions()
+        if partitioner is None:
+            partitioner = HashPartitioner(shards)
+        if partitioner.nshards != shards:
+            raise ValueError(
+                f"partitioner routes {partitioner.nshards} shards, "
+                f"engine has {shards}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.partitioner = partitioner
+        if engine_factory is None:
+            engine_factory = lambda index, shard_opts: BLSMEngine(shard_opts)
+        self.shards: list[KVEngine] = [
+            engine_factory(index, derive_shard_options(opts, index))
+            for index in range(shards)
+        ]
+        self._clock = VirtualClock()
+        self._runtime = EngineRuntime(clock=self._clock)
+        metrics = self._runtime.metrics
+        self._ctr_batches = metrics.counter("shard.batches")
+        self._ctr_batch_ops = metrics.counter("shard.batch_ops")
+        self._hist_batch = metrics.histogram("shard.batch_seconds")
+        self._ctr_fallback_reads = metrics.counter("shard.fallback_reads")
+        self._shard_ops = [
+            metrics.counter(f"shard.{index}.ops") for index in range(shards)
+        ]
+        self._shard_busy = [
+            metrics.counter(f"shard.{index}.busy_seconds")
+            for index in range(shards)
+        ]
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Routing and overlapped execution
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The router's clock: the client's view of virtual time."""
+        return self._clock
+
+    def _fan_out(
+        self,
+        groups: dict[int, Callable[[KVEngine], T]],
+        kind: str,
+        ops: int,
+    ) -> dict[int, T]:
+        """Run one callable per shard, overlapped on the time axis.
+
+        Every involved shard catches up to the router clock, services
+        its work on its own clock/devices, and the router completes at
+        the max of the shard completion times.  The invariant that no
+        shard clock is ever *ahead* of the router's (re-established at
+        the end of every fan-out) is what makes ``max`` the honest
+        completion time: no shard smuggles work into the past.
+        """
+        issue = self._clock.now
+        completion = issue
+        per_shard: dict[int, float] = {}
+        results: dict[int, T] = {}
+        for index, fn in sorted(groups.items()):
+            shard = self.shards[index]
+            shard.clock.advance_to(issue)
+            results[index] = fn(shard)
+            end = shard.clock.now
+            per_shard[index] = end - issue
+            self._shard_busy[index].inc(end - issue)
+            completion = max(completion, end)
+        self._clock.advance_to(completion)
+        self._ctr_batches.inc()
+        self._ctr_batch_ops.inc(ops)
+        self._hist_batch.observe(completion - issue)
+        self._runtime.trace.emit(
+            "shard_batch",
+            kind=kind,
+            ops=ops,
+            shards=len(groups),
+            seconds=completion - issue,
+            per_shard={i: round(s, 9) for i, s in per_shard.items()},
+        )
+        return results
+
+    def _on_shard(self, index: int, fn: Callable[[KVEngine], T], kind: str) -> T:
+        """Single-shard degenerate fan-out (point operations)."""
+        self._shard_ops[index].inc()
+        return self._fan_out({index: fn}, kind, ops=1)[index]
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        """Point lookup on the owning shard, falling back through the
+        placement history (a resize strands old versions — see module
+        docstring)."""
+        owners = self.partitioner.owners(key)
+        value = self._on_shard(owners[0], lambda s: s.get(key), "get")
+        for previous in owners[1:]:
+            if value is not None:
+                break
+            self._ctr_fallback_reads.inc()
+            value = self._on_shard(previous, lambda s: s.get(key), "get")
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        index = self.partitioner.shard_for(key)
+        self._on_shard(index, lambda s: s.put(key, value), "put")
+
+    def delete(self, key: bytes) -> None:
+        """Tombstone every owner, current and historic, so a version
+        stranded on an old shard by a resize stays masked."""
+        groups = {
+            index: (lambda s: s.delete(key))
+            for index in self.partitioner.owners(key)
+        }
+        for index in groups:
+            self._shard_ops[index].inc()
+        self._fan_out(groups, "delete", ops=len(groups))
+
+    def apply_delta(self, key: bytes, delta: bytes) -> None:
+        index = self.partitioner.shard_for(key)
+        self._on_shard(index, lambda s: s.apply_delta(key, delta), "delta")
+
+    def insert_if_not_exists(self, key: bytes, value: bytes) -> bool:
+        for index in self.partitioner.owners(key):
+            if self._on_shard(index, lambda s: s.get(key), "get") is not None:
+                return False
+        owner = self.partitioner.shard_for(key)
+        self._on_shard(owner, lambda s: s.put(key, value), "put")
+        return True
+
+    # ------------------------------------------------------------------
+    # Batched operations — the fan-out that makes sharding pay
+    # ------------------------------------------------------------------
+
+    def multi_get(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Batched lookup: per-shard sub-batches overlap, so the batch
+        costs the slowest shard's device time, not the sum."""
+        by_shard: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            index = self.partitioner.shard_for(key)
+            by_shard.setdefault(index, []).append(position)
+
+        def lookup(positions: list[int]) -> Callable[[KVEngine], list]:
+            return lambda shard: [shard.get(keys[p]) for p in positions]
+
+        groups = {
+            index: lookup(positions)
+            for index, positions in by_shard.items()
+        }
+        for index, positions in by_shard.items():
+            self._shard_ops[index].inc(len(positions))
+        results = self._fan_out(groups, "multi_get", ops=len(keys))
+        values: list[bytes | None] = [None] * len(keys)
+        for index, positions in by_shard.items():
+            for position, value in zip(positions, results[index]):
+                values[position] = value
+        # Fallback passes for keys a resize may have stranded on an old
+        # owner: each round consults the next shard in every missing
+        # key's placement history, still overlapped per shard.
+        remaining = {
+            position: list(self.partitioner.owners(keys[position]))[1:]
+            for position in range(len(keys))
+            if values[position] is None
+        }
+        while True:
+            missing: dict[int, list[int]] = {}
+            for position, history in remaining.items():
+                if values[position] is None and history:
+                    missing.setdefault(history.pop(0), []).append(position)
+            if not missing:
+                break
+            self._ctr_fallback_reads.inc(
+                sum(len(p) for p in missing.values())
+            )
+            fallback = self._fan_out(
+                {i: lookup(p) for i, p in missing.items()},
+                "multi_get_fallback",
+                ops=sum(len(p) for p in missing.values()),
+            )
+            for index, positions in missing.items():
+                for position, value in zip(positions, fallback[index]):
+                    if values[position] is None:
+                        values[position] = value
+        return values
+
+    def apply_batch(
+        self, batch: WriteBatch | Any
+    ) -> None:
+        """Apply a write batch with per-shard sub-batches overlapped.
+
+        Puts and deltas route to the current owner; deletes broadcast
+        to every historic owner (tombstones are the resize-safety
+        mechanism).  Within each shard the original operation order is
+        preserved, so per-key ordering semantics match the sequential
+        default.
+        """
+        by_shard: dict[int, WriteBatch] = {}
+        ops = 0
+        for op, key, value in batch:
+            ops += 1
+            if op == WriteBatch.DELETE:
+                targets = self.partitioner.owners(key)
+            else:
+                targets = (self.partitioner.shard_for(key),)
+            for index in targets:
+                sub = by_shard.setdefault(index, WriteBatch())
+                sub._ops.append((op, key, value))
+        if not by_shard:
+            return
+
+        def apply(sub: WriteBatch) -> Callable[[KVEngine], None]:
+            return lambda shard: shard.apply_batch(sub)
+
+        for index, sub in by_shard.items():
+            self._shard_ops[index].inc(len(sub))
+        self._fan_out(
+            {index: apply(sub) for index, sub in by_shard.items()},
+            "apply_batch",
+            ops=ops,
+        )
+
+    # ------------------------------------------------------------------
+    # Scatter-gather scan
+    # ------------------------------------------------------------------
+
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Merged range scan across every shard (heap merge).
+
+        Each shard produces at most ``limit`` rows (any row of the
+        final merged prefix must be within the first ``limit`` of its
+        shard), the per-shard scans overlap on the time axis, and the
+        sorted streams heap-merge.  A key yielded by several shards (a
+        range resize left an old version behind) resolves to the
+        version from the *newest* owner in the placement history.
+        """
+
+        def collect(shard: KVEngine) -> list[tuple[bytes, bytes]]:
+            return list(shard.scan(lo, hi, limit))
+
+        groups: dict[int, Callable[[KVEngine], list[tuple[bytes, bytes]]]]
+        groups = {index: collect for index in range(len(self.shards))}
+        results = self._fan_out(groups, "scan", ops=1)
+        streams = [
+            [(key, index, value) for key, value in rows]
+            for index, rows in sorted(results.items())
+        ]
+        merged = heapq.merge(*streams)
+        emitted = 0
+        pending_key: bytes | None = None
+        pending: dict[int, bytes] = {}
+
+        def resolve(key: bytes, versions: dict[int, bytes]) -> bytes:
+            for owner in self.partitioner.owners(key):
+                if owner in versions:
+                    return versions[owner]
+            return versions[min(versions)]
+
+        for key, index, value in merged:
+            if key != pending_key:
+                if pending_key is not None:
+                    yield pending_key, resolve(pending_key, pending)
+                    emitted += 1
+                    if limit is not None and emitted >= limit:
+                        return
+                pending_key = key
+                pending = {}
+            pending[index] = value
+        if pending_key is not None and (limit is None or emitted < limit):
+            yield pending_key, resolve(pending_key, pending)
+
+    # ------------------------------------------------------------------
+    # Lifecycle and reporting
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._fan_out(
+            {i: (lambda s: s.flush()) for i in range(len(self.shards))},
+            "flush",
+            ops=len(self.shards),
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._fan_out(
+            {i: (lambda s: s.close()) for i in range(len(self.shards))},
+            "close",
+            ops=len(self.shards),
+        )
+        self._closed = True
+
+    def metrics(self) -> dict[str, Any]:
+        """Aggregate router metrics plus each shard's, prefixed
+        ``shard{i}.`` — one flat snapshot covering the whole fleet."""
+        snapshot = dict(self._runtime.metrics.snapshot())
+        for index, shard in enumerate(self.shards):
+            for name, value in shard.metrics().items():
+                snapshot[f"shard{index}.{name}"] = value
+        return snapshot
+
+    def io_summary(self) -> dict[str, Any]:
+        """Sum of the shard device counters, in the shared schema.
+
+        Utilizations are averaged across shards: each shard's devices
+        are distinct hardware, so "how busy was the fleet" is the mean,
+        not the sum.  Per-shard summaries ride along under
+        ``per_shard`` for drill-down.
+        """
+        per_shard = [shard.io_summary() for shard in self.shards]
+        count = max(1, len(per_shard))
+
+        def total(key: str) -> float:
+            return sum(summary.get(key, 0) for summary in per_shard)
+
+        return build_io_summary(
+            data_seeks=int(total("data_seeks")),
+            data_bytes_read=int(total("data_bytes_read")),
+            data_bytes_written=int(total("data_bytes_written")),
+            log_bytes_written=int(total("log_bytes_written")),
+            busy_seconds=total("busy_seconds"),
+            fg_busy_seconds=total("fg_busy_seconds"),
+            bg_busy_seconds=total("bg_busy_seconds"),
+            fg_wait_seconds=total("fg_wait_seconds"),
+            data_utilization=total("data_utilization") / count,
+            log_utilization=total("log_utilization") / count,
+            shards=len(self.shards),
+            partitioner=self.partitioner.describe(),
+            per_shard=per_shard,
+        )
+
+    def shard_rows(self) -> list[dict[str, Any]]:
+        """Per-shard attribution rows for ``repro trace`` / ``bench``.
+
+        ``busy_fraction`` is the share of the run each shard spent
+        servicing its sub-batches — the load-balance picture;
+        ``utilization`` is the shard's own device utilization.
+        """
+        metrics = self._runtime.metrics
+        elapsed = self._clock.now
+        rows: list[dict[str, Any]] = []
+        for index, shard in enumerate(self.shards):
+            summary = shard.io_summary()
+            busy = metrics.value(f"shard.{index}.busy_seconds")
+            rows.append(
+                {
+                    "shard": index,
+                    "ops": int(metrics.value(f"shard.{index}.ops")),
+                    "busy_seconds": busy,
+                    "busy_fraction": busy / elapsed if elapsed > 0 else 0.0,
+                    "utilization": summary["data_utilization"],
+                    "data_seeks": summary["data_seeks"],
+                    "data_bytes_read": summary["data_bytes_read"],
+                    "data_bytes_written": summary["data_bytes_written"],
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEngine(shards={len(self.shards)}, "
+            f"partitioner={self.partitioner.describe()}, "
+            f"t={self._clock.now:.3f}s)"
+        )

@@ -1,0 +1,203 @@
+"""Key-to-shard placement policies for the sharded engine.
+
+The paper positions bLSM as the storage node of PNUTS-style sharded web
+services (Sections 1 and 6): a fleet of independent trees, each owning a
+slice of the keyspace.  A :class:`Partitioner` is that slicing policy.
+Two concrete policies cover the standard design space (Luo & Carey's
+LSM survey, Section "LSM-based distributed storage"):
+
+* :class:`HashPartitioner` — uniform load spreading, no range locality;
+* :class:`RangePartitioner` — contiguous key ranges per shard, so range
+  scans touch few shards; resizable, with the history bookkeeping the
+  router needs to stay correct across boundary moves.
+
+Placement history matters because a resize strands old versions: a key
+written before the move lives on its *old* owner's tree.  The router
+consults :meth:`Partitioner.owners` (current owner first, then historic
+owners, newest first) on reads and broadcasts tombstones to every owner
+on deletes, so stale replicas are masked rather than resurrected.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_bytes(data: bytes) -> int:
+    """64-bit FNV-1a over raw key bytes.
+
+    Python's built-in ``hash`` of bytes is salted per process
+    (PYTHONHASHSEED), which would make shard placement — and therefore
+    every simulated device access — nondeterministic across runs.  FNV
+    keeps routing reproducible, the property the whole virtual-clock
+    methodology rests on.
+    """
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class Partitioner(ABC):
+    """Maps keys to shard indices in ``[0, nshards)``."""
+
+    @property
+    @abstractmethod
+    def nshards(self) -> int:
+        """Number of shards this policy routes across."""
+
+    @abstractmethod
+    def shard_for(self, key: bytes) -> int:
+        """The shard that currently owns ``key``."""
+
+    def owners(self, key: bytes) -> tuple[int, ...]:
+        """Every shard that may hold a version of ``key``.
+
+        The current owner first, then historic owners newest-first (a
+        policy that never moved keys returns just the current owner).
+        Reads fall back along this list; deletes write a tombstone to
+        every entry so stale versions on old owners stay masked.
+        """
+        return (self.shard_for(key),)
+
+    def describe(self) -> str:
+        """Short human-readable policy name for benchmark output."""
+        return f"{type(self).__name__}({self.nshards})"
+
+
+class HashPartitioner(Partitioner):
+    """FNV-1a hash placement: uniform spreading, no range locality."""
+
+    def __init__(self, nshards: int) -> None:
+        if nshards < 1:
+            raise ValueError(f"nshards must be >= 1, got {nshards}")
+        self._nshards = nshards
+
+    @property
+    def nshards(self) -> int:
+        return self._nshards
+
+    def shard_for(self, key: bytes) -> int:
+        return fnv1a_bytes(key) % self._nshards
+
+    def describe(self) -> str:
+        return f"hash({self._nshards})"
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous key ranges per shard, split at explicit boundaries.
+
+    ``boundaries`` is a sorted sequence of ``nshards - 1`` split keys:
+    shard ``i`` owns keys in ``[boundaries[i-1], boundaries[i])`` (the
+    first shard owns everything below ``boundaries[0]``, the last
+    everything at or above ``boundaries[-1]``).
+
+    :meth:`resize` installs new boundaries without migrating data —
+    the cheap, PNUTS-style split.  The superseded mapping is pushed
+    onto a history list so :meth:`owners` can still name the shards
+    where pre-resize versions of a key physically live.
+    """
+
+    def __init__(self, boundaries: Sequence[bytes]) -> None:
+        self._boundaries = self._check(boundaries)
+        self._history: list[list[bytes]] = []  # newest superseded first
+
+    @staticmethod
+    def _check(boundaries: Sequence[bytes]) -> list[bytes]:
+        split = list(boundaries)
+        if not split:
+            raise ValueError("need at least one boundary (two shards)")
+        if split != sorted(split) or len(set(split)) != len(split):
+            raise ValueError("boundaries must be strictly increasing")
+        return split
+
+    @classmethod
+    def from_sample(
+        cls, keys: Iterable[bytes], nshards: int
+    ) -> "RangePartitioner":
+        """Boundaries at the quantiles of a key sample.
+
+        The practical way to get balanced ranges over an arbitrary key
+        population (the YCSB generator's hashed ``user...`` keys are
+        uniform in hash space but lumpy lexicographically): sort a
+        sample, cut it into ``nshards`` equal slices.
+        """
+        if nshards < 2:
+            raise ValueError(f"nshards must be >= 2, got {nshards}")
+        ordered = sorted(set(keys))
+        if len(ordered) < nshards:
+            raise ValueError(
+                f"sample of {len(ordered)} distinct keys cannot seed "
+                f"{nshards} ranges"
+            )
+        step = len(ordered) / nshards
+        return cls([ordered[int(step * i)] for i in range(1, nshards)])
+
+    @property
+    def nshards(self) -> int:
+        return len(self._boundaries) + 1
+
+    @property
+    def boundaries(self) -> tuple[bytes, ...]:
+        return tuple(self._boundaries)
+
+    @property
+    def resized(self) -> bool:
+        """Whether any resize ever happened (owners may differ)."""
+        return bool(self._history)
+
+    def shard_for(self, key: bytes) -> int:
+        return bisect_right(self._boundaries, key)
+
+    def resize(self, boundaries: Sequence[bytes]) -> None:
+        """Install new split points (same shard count, moved edges).
+
+        Data is not migrated: versions written under the old mapping
+        stay on their old shard and remain reachable via
+        :meth:`owners`.
+        """
+        split = self._check(boundaries)
+        if len(split) != len(self._boundaries):
+            raise ValueError(
+                f"resize must keep {self.nshards} shards, got "
+                f"{len(split) + 1}"
+            )
+        self._history.insert(0, self._boundaries)
+        self._boundaries = split
+
+    def owners(self, key: bytes) -> tuple[int, ...]:
+        seen = [self.shard_for(key)]
+        for boundaries in self._history:
+            owner = bisect_right(boundaries, key)
+            if owner not in seen:
+                seen.append(owner)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        suffix = f", resized x{len(self._history)}" if self._history else ""
+        return f"range({self.nshards}{suffix})"
+
+
+def make_partitioner(
+    name: str, nshards: int, sample: Iterable[bytes] | None = None
+) -> Partitioner:
+    """Build a partitioner by CLI name (``hash`` or ``range``).
+
+    ``range`` needs a key ``sample`` to place balanced boundaries; the
+    CLI passes the workload generator's load keys.
+    """
+    if name == "hash":
+        return HashPartitioner(nshards)
+    if name == "range":
+        if nshards == 1:
+            return HashPartitioner(1)  # one shard needs no boundaries
+        if sample is None:
+            raise ValueError("range partitioner needs a key sample")
+        return RangePartitioner.from_sample(sample, nshards)
+    raise ValueError(f"unknown partitioner {name!r}; expected hash or range")

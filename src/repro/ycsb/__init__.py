@@ -16,9 +16,20 @@ from repro.ycsb.distributions import (
     ZipfianChooser,
 )
 from repro.ycsb.generator import Operation, OperationGenerator, OpKind
-from repro.ycsb.metrics import BucketedHistogram, LatencyStats, Timeseries
+from repro.ycsb.metrics import (
+    BatchStats,
+    BucketedHistogram,
+    LatencyStats,
+    Timeseries,
+)
 from repro.ycsb.open_loop import OpenLoopResult, run_open_loop
-from repro.ycsb.runner import RunResult, load_phase, run_workload
+from repro.ycsb.runner import (
+    RunResult,
+    execute_batch,
+    load_phase,
+    run_batched_workload,
+    run_workload,
+)
 from repro.ycsb.trace import (
     read_trace,
     record_workload_trace,
@@ -28,6 +39,7 @@ from repro.ycsb.trace import (
 from repro.ycsb.workload import WorkloadSpec, standard_workload
 
 __all__ = [
+    "BatchStats",
     "BucketedHistogram",
     "LatencyStats",
     "LatestChooser",
@@ -42,10 +54,12 @@ __all__ = [
     "UniformChooser",
     "WorkloadSpec",
     "ZipfianChooser",
+    "execute_batch",
     "load_phase",
     "read_trace",
     "record_workload_trace",
     "replay_trace",
+    "run_batched_workload",
     "run_workload",
     "standard_workload",
     "write_trace",

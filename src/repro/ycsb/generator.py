@@ -79,6 +79,24 @@ class OperationGenerator:
         for index in range(self.spec.record_count):
             yield make_key(index, self.spec.ordered_inserts)
 
+    def batches(self, batch_size: int):
+        """Yield :meth:`operations` grouped into client batches.
+
+        The batched runner issues each group through the engine's
+        multi-key surface (``multi_get`` / ``apply_batch``); the final
+        batch may be short.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        batch: list[Operation] = []
+        for op in self.operations():
+            batch.append(op)
+            if len(batch) == batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def operations(self):
         """Yield ``spec.operation_count`` operations."""
         spec = self.spec

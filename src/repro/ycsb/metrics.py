@@ -79,6 +79,38 @@ class LatencyStats:
         }
 
 
+@dataclass
+class BatchStats:
+    """Batch-granularity accounting for the batched runner.
+
+    Per-operation latencies in a batched run all equal their batch's
+    latency (every op in the batch completes when the batch does), so
+    the batch-level view is where amortization shows: mean batch size,
+    and the latency each *round trip* cost.
+    """
+
+    batches: int = 0
+    operations: int = 0
+    latency: "LatencyStats" = field(default_factory=lambda: LatencyStats())
+
+    def record(self, ops: int, seconds: float) -> None:
+        self.batches += 1
+        self.operations += ops
+        self.latency.record(seconds)
+
+    @property
+    def mean_size(self) -> float:
+        return self.operations / self.batches if self.batches else 0.0
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "batches": float(self.batches),
+            "operations": float(self.operations),
+            "mean_size": self.mean_size,
+            "latency": self.latency.summary(),
+        }
+
+
 class BucketedHistogram:
     """Memory-bounded latency histogram with geometric buckets.
 

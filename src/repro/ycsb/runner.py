@@ -14,9 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.baselines.interface import KVEngine
+from repro.baselines.interface import KVEngine, WriteBatch
 from repro.ycsb.generator import Operation, OperationGenerator, OpKind
-from repro.ycsb.metrics import LatencyStats, Timeseries
+from repro.ycsb.metrics import BatchStats, LatencyStats, Timeseries
 from repro.ycsb.workload import WorkloadSpec
 
 
@@ -32,6 +32,9 @@ class RunResult:
     io: dict[str, Any] = field(default_factory=dict)
     metrics: dict[str, Any] = field(default_factory=dict)
     """Engine-wide :class:`MetricsRegistry` snapshot taken at phase end."""
+
+    batch: BatchStats | None = None
+    """Batch-level accounting when the phase ran batched, else ``None``."""
 
     @property
     def throughput(self) -> float:
@@ -104,12 +107,109 @@ def execute(engine: KVEngine, op: Operation) -> None:
         raise ValueError(f"unknown operation kind {op.kind!r}")
 
 
+def execute_batch(engine: KVEngine, batch: list[Operation]) -> None:
+    """Run one client batch through the engine's multi-key surface.
+
+    Consecutive READs coalesce into one :meth:`KVEngine.multi_get`;
+    consecutive blind writes, inserts and deletes coalesce into one
+    :class:`WriteBatch`.  Coalescing never crosses a run boundary, so a
+    read issued after a write to the same key still observes it.
+    UPDATE/RMW (read-dependent) and SCAN stay single calls.
+    """
+    reads: list[bytes] = []
+    writes = WriteBatch()
+
+    def drain() -> None:
+        nonlocal writes
+        if reads:
+            engine.multi_get(list(reads))
+            reads.clear()
+        if writes:
+            engine.apply_batch(writes)
+            writes = WriteBatch()
+
+    for op in batch:
+        if op.kind is OpKind.READ:
+            if writes:
+                drain()
+            reads.append(op.key)
+        elif op.kind in (OpKind.BLIND_WRITE, OpKind.INSERT):
+            if reads:
+                drain()
+            assert op.value is not None
+            writes.put(op.key, op.value)
+        elif op.kind is OpKind.DELETE:
+            if reads:
+                drain()
+            writes.delete(op.key)
+        else:
+            drain()
+            execute(engine, op)
+    drain()
+
+
+def run_batched_workload(
+    engine: KVEngine,
+    spec: WorkloadSpec,
+    seed: int = 0,
+    batch_size: int = 8,
+    timeseries_window: float | None = None,
+) -> RunResult:
+    """Run the measured phase in client batches of ``batch_size``.
+
+    The batched analogue of :func:`run_workload`: a closed loop over
+    *batches* instead of single operations.  Every operation in a batch
+    completes when the batch does, so each op records the whole batch's
+    clock advance as its latency; throughput still counts individual
+    operations.  On a sharded engine a batch fans out and costs the max
+    of the per-shard device time — the amortization this runner exists
+    to measure.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    generator = OperationGenerator(spec, seed=seed)
+    latencies: dict[OpKind, LatencyStats] = {}
+    batch_stats = BatchStats()
+    observe = _latency_observer(engine)
+    series = (
+        Timeseries(timeseries_window) if timeseries_window is not None else None
+    )
+    start = engine.clock.now
+    io_before = engine.io_summary()
+    operations = 0
+    for batch in generator.batches(batch_size):
+        issued = engine.clock.now
+        execute_batch(engine, batch)
+        latency = engine.clock.now - issued
+        batch_stats.record(len(batch), latency)
+        for op in batch:
+            latencies.setdefault(op.kind, LatencyStats()).record(latency)
+            observe(op.kind, latency)
+            if series is not None:
+                series.record(issued - start, latency)
+        operations += len(batch)
+    elapsed = engine.clock.now - start
+    if series is not None:
+        series.end_time = elapsed
+    return RunResult(
+        engine=engine.name,
+        operations=operations,
+        elapsed_seconds=elapsed,
+        latencies=latencies,
+        timeseries=series,
+        io=_io_delta(io_before, engine.io_summary()),
+        metrics=engine.metrics(),
+        batch=batch_stats,
+    )
+
+
 def load_phase(
     engine: KVEngine,
     spec: WorkloadSpec,
     seed: int = 0,
     timeseries_window: float | None = None,
     use_bulk_load: bool = False,
+    batch_size: int = 1,
 ) -> RunResult:
     """Insert ``spec.record_count`` keys (Section 5.2's load).
 
@@ -117,11 +217,15 @@ def load_phase(
         use_bulk_load: use the engine's sorted bulk-load path if it has
             one (InnoDB's pre-sorted load); requires
             ``spec.ordered_inserts``.
+        batch_size: when > 1, group inserts into :class:`WriteBatch`
+            groups of this size (ignored when the spec checks existence
+            on insert — that read-dependent path stays per-key).
         timeseries_window: when set, collect windowed throughput for
             Figure 7 style plots.
     """
     generator = OperationGenerator(spec, seed=seed)
     stats = LatencyStats()
+    batch_stats: BatchStats | None = None
     observe = _latency_observer(engine)
     series = (
         Timeseries(timeseries_window) if timeseries_window is not None else None
@@ -138,6 +242,35 @@ def load_phase(
         per_op = (engine.clock.now - before) / max(1, count)
         stats.record(per_op)
         observe(OpKind.INSERT, per_op)
+    elif batch_size > 1 and not spec.check_exists_on_insert:
+        import random as _random
+
+        value_rng = _random.Random(seed + 1)
+        batch_stats = BatchStats()
+        chunk: list[bytes] = []
+
+        def flush() -> None:
+            batch = WriteBatch()
+            for key in chunk:
+                value = bytes([value_rng.randrange(256)]) * spec.value_bytes
+                batch.put(key, value)
+            before = engine.clock.now
+            engine.apply_batch(batch)
+            latency = engine.clock.now - before
+            batch_stats.record(len(chunk), latency)
+            for _ in chunk:
+                stats.record(latency)
+                observe(OpKind.INSERT, latency)
+                if series is not None:
+                    series.record(before - start, latency)
+            chunk.clear()
+
+        for key in generator.load_keys():
+            chunk.append(key)
+            if len(chunk) == batch_size:
+                flush()
+        if chunk:
+            flush()
     else:
         import random as _random
 
@@ -165,6 +298,7 @@ def load_phase(
         timeseries=series,
         io=_io_delta(io_before, engine.io_summary()),
         metrics=engine.metrics(),
+        batch=batch_stats,
     )
 
 

@@ -257,3 +257,81 @@ def test_fault_flags_rejected_for_non_blsm_engines(capsys):
             "--records", "50", "--ops", "0",
             "--fault-transient", "0.1",
         ])
+
+
+def test_workload_sharded_engine(capsys):
+    code, out = run_cli(
+        capsys,
+        "workload", "--engine", "sharded", "--shards", "2",
+        "--records", "200", "--ops", "150",
+        "--read", "0.5", "--blind-write", "0.5",
+        "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "ops/s" in out
+
+
+def test_workload_sharded_range_partitioner(capsys):
+    code, out = run_cli(
+        capsys,
+        "workload", "--engine", "sharded", "--shards", "3",
+        "--partitioner", "range",
+        "--records", "200", "--ops", "100",
+        "--read", "0.6", "--scan", "0.4", "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "scan" in out
+
+
+def test_trace_sharded_prints_per_shard_rows(capsys):
+    code, out = run_cli(
+        capsys,
+        "trace", "--engine", "sharded", "--shards", "2",
+        "--records", "300", "--ops", "100", "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "shards (load balance and utilization):" in out
+    assert "shard" in out
+
+
+def test_compare_includes_sharded(capsys):
+    code, out = run_cli(
+        capsys,
+        "compare", "--records", "150", "--ops", "100",
+        "--value-bytes", "100",
+    )
+    assert code == 0
+    assert "sharded" in out
+
+
+def test_bench_reports_speedup(capsys):
+    code, out = run_cli(
+        capsys,
+        "bench", "--records", "400", "--ops", "256", "--batch", "32",
+        "--value-bytes", "200", "--c0-bytes", "16384", "--cache-pages", "8",
+    )
+    assert code == 0
+    assert "speedup" in out
+    assert "batch" in out
+
+
+def test_bench_assert_speedup_failure_exits_nonzero(capsys):
+    code, out = run_cli(
+        capsys,
+        "bench", "--records", "400", "--ops", "256", "--batch", "32",
+        "--value-bytes", "200", "--c0-bytes", "16384", "--cache-pages", "8",
+        "--assert-speedup", "1000",
+    )
+    assert code == 1
+    assert "speedup" in out
+
+
+def test_bench_without_baseline(capsys):
+    code, out = run_cli(
+        capsys,
+        "bench", "--records", "300", "--ops", "128", "--batch", "16",
+        "--value-bytes", "200", "--c0-bytes", "16384", "--cache-pages", "8",
+        "--baseline", "none",
+    )
+    assert code == 0
+    assert "speedup" not in out

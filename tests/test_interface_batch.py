@@ -1,0 +1,295 @@
+"""The batched KVEngine surface: WriteBatch, sequential defaults, the
+io_summary schema contract, and the batched runner's coalescing rules.
+
+Every engine inherits ``multi_get``/``apply_batch`` defaults, so the
+batched YCSB runner drives any engine unchanged; these tests pin the
+default semantics the sharded router's overrides must match.
+"""
+
+import pytest
+
+from repro.baselines import (
+    IO_SUMMARY_KEYS,
+    KVEngine,
+    WriteBatch,
+    build_io_summary,
+    validate_io_summary,
+)
+from repro.engines import ENGINE_NAMES, EngineConfig, build_engine
+from repro.sim import VirtualClock
+from repro.ycsb import execute_batch
+from repro.ycsb.generator import Operation, OpKind
+
+
+def small_engine(name):
+    return build_engine(name, EngineConfig(c0_bytes=32 * 1024, cache_pages=16))
+
+
+# ----------------------------------------------------------------------
+# WriteBatch
+# ----------------------------------------------------------------------
+
+
+def test_write_batch_chaining_and_order():
+    batch = WriteBatch().put(b"a", b"1").delete(b"b").apply_delta(b"c", b"+")
+    assert len(batch) == 3
+    assert bool(batch)
+    assert list(batch) == [
+        (WriteBatch.PUT, b"a", b"1"),
+        (WriteBatch.DELETE, b"b", None),
+        (WriteBatch.DELTA, b"c", b"+"),
+    ]
+    assert "3 ops" in repr(batch)
+
+
+def test_write_batch_empty_and_extend():
+    batch = WriteBatch()
+    assert not batch
+    assert len(batch) == 0
+    other = WriteBatch().put(b"x", b"1")
+    batch.extend(other)
+    assert list(batch) == [(WriteBatch.PUT, b"x", b"1")]
+
+
+# ----------------------------------------------------------------------
+# Default batched semantics (every engine)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+def test_default_multi_get_matches_sequential_gets(name):
+    engine = small_engine(name)
+    for i in range(40):
+        engine.put(b"key%03d" % i, b"v%03d" % i)
+    keys = [b"key%03d" % i for i in (0, 13, 39, 7)] + [b"missing"]
+    assert engine.multi_get(keys) == [engine.get(key) for key in keys]
+    engine.close()
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+def test_apply_batch_applies_puts_deletes_and_deltas(name):
+    engine = small_engine(name)
+    engine.put(b"gone", b"old")
+    engine.put(b"delta", b"12345678")
+    batch = (
+        WriteBatch()
+        .put(b"new", b"value")
+        .delete(b"gone")
+        .apply_delta(b"delta", b"ABCD")
+    )
+    engine.apply_batch(batch)
+    assert engine.get(b"new") == b"value"
+    assert engine.get(b"gone") is None
+    assert engine.get(b"delta") == b"12345678ABCD"  # deltas byte-append
+    engine.close()
+
+
+def test_apply_batch_rejects_unknown_op():
+    engine = small_engine("btree")
+    with pytest.raises(ValueError, match="unknown batch op"):
+        engine.apply_batch([("merge", b"k", b"v")])
+    engine.close()
+
+
+def test_batch_order_preserved_on_same_key():
+    engine = small_engine("blsm")
+    engine.apply_batch(
+        WriteBatch().put(b"k", b"first").delete(b"k").put(b"k", b"last")
+    )
+    assert engine.get(b"k") == b"last"
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# read_modify_write routing
+# ----------------------------------------------------------------------
+
+
+def test_rmw_uses_put_on_default_engines_and_emits_trace():
+    engine = small_engine("blsm")
+    engine.put(b"n", b"1")
+    result = engine.read_modify_write(b"n", lambda old: b"%d" % (int(old) + 1))
+    assert result == b"2"
+    assert engine.get(b"n") == b"2"
+    events = engine.trace("rmw")
+    assert events and events[-1].get("key") == b"n"
+    engine.close()
+
+
+def test_rmw_routes_through_overridden_apply_batch():
+    class RecordingEngine(_FakeEngine):
+        def __init__(self):
+            super().__init__()
+            self.batched = []
+
+        def apply_batch(self, batch):
+            self.batched.append(list(batch))
+            super().apply_batch(batch)
+
+    engine = RecordingEngine()
+    engine.put(b"n", b"1")
+    engine.read_modify_write(b"n", lambda old: old + b"!")
+    assert engine.batched == [[(WriteBatch.PUT, b"n", b"1!")]]
+    assert engine.get(b"n") == b"1!"
+
+
+# ----------------------------------------------------------------------
+# io_summary schema contract
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+def test_io_summary_contract_and_seeks(name):
+    engine = small_engine(name)
+    for i in range(60):
+        engine.put(b"key%03d" % i, b"v" * 120)
+    engine.get(b"key007")
+    summary = validate_io_summary(engine.io_summary(), name)
+    assert IO_SUMMARY_KEYS <= summary.keys()
+    assert engine.seeks() == int(summary["data_seeks"])
+    engine.close()
+
+
+def test_validate_io_summary_lists_missing_keys():
+    with pytest.raises(ValueError) as exc:
+        validate_io_summary({"data_seeks": 1}, "broken")
+    message = str(exc.value)
+    assert "broken" in message
+    assert "busy_seconds" in message
+
+
+def test_build_io_summary_defaults_fg_to_unattributed_busy():
+    summary = build_io_summary(
+        data_seeks=5,
+        data_bytes_read=100,
+        data_bytes_written=200,
+        log_bytes_written=300,
+        busy_seconds=4.0,
+        bg_busy_seconds=1.5,
+        extra_counter=9,
+    )
+    assert summary["fg_busy_seconds"] == 2.5
+    assert summary["extra_counter"] == 9
+    validate_io_summary(summary)
+
+
+# ----------------------------------------------------------------------
+# execute_batch coalescing (read-after-write ordering)
+# ----------------------------------------------------------------------
+
+
+class _FakeEngine(KVEngine):
+    """In-memory engine recording which batched calls were made."""
+
+    name = "fake"
+
+    def __init__(self):
+        self._clock = VirtualClock()
+        self._data = {}
+        self.calls = []
+
+    @property
+    def clock(self):
+        return self._clock
+
+    def get(self, key):
+        self.calls.append(("get", key))
+        return self._data.get(key)
+
+    def put(self, key, value):
+        self._data[key] = value
+
+    def delete(self, key):
+        self._data.pop(key, None)
+
+    def scan(self, lo, hi=None, limit=None):
+        rows = sorted(
+            (k, v)
+            for k, v in self._data.items()
+            if k >= lo and (hi is None or k < hi)
+        )
+        yield from rows[:limit]
+
+    def insert_if_not_exists(self, key, value):
+        if key in self._data:
+            return False
+        self._data[key] = value
+        return True
+
+    def apply_delta(self, key, delta):
+        self._data[key] = self._data.get(key, b"") + delta
+
+    def multi_get(self, keys):
+        self.calls.append(("multi_get", tuple(keys)))
+        return [self._data.get(key) for key in keys]
+
+    def apply_batch(self, batch):
+        ops = list(batch)
+        self.calls.append(("apply_batch", tuple(op for op, _, _ in ops)))
+        for op, key, value in ops:
+            if op == WriteBatch.PUT:
+                self.put(key, value)
+            elif op == WriteBatch.DELETE:
+                self.delete(key)
+            else:
+                self.apply_delta(key, value)
+
+    def flush(self):
+        pass
+
+    def close(self):
+        pass
+
+    def io_summary(self):
+        return build_io_summary(
+            data_seeks=0,
+            data_bytes_read=0,
+            data_bytes_written=0,
+            log_bytes_written=0,
+            busy_seconds=0.0,
+        )
+
+
+def _op(kind, key, value=None):
+    return Operation(kind=kind, key=key, value=value)
+
+
+def test_execute_batch_coalesces_runs_without_crossing_boundaries():
+    engine = _FakeEngine()
+    engine.put(b"a", b"0")
+    batch = [
+        _op(OpKind.BLIND_WRITE, b"a", b"1"),
+        _op(OpKind.BLIND_WRITE, b"b", b"2"),
+        _op(OpKind.READ, b"a"),
+        _op(OpKind.READ, b"b"),
+        _op(OpKind.BLIND_WRITE, b"a", b"3"),
+        _op(OpKind.READ, b"a"),
+    ]
+    execute_batch(engine, batch)
+    # Writes flush before the reads that follow them, and the final
+    # read observes the later write: coalescing never reorders across
+    # a read/write boundary.
+    assert engine.calls == [
+        ("apply_batch", (WriteBatch.PUT, WriteBatch.PUT)),
+        ("multi_get", (b"a", b"b")),
+        ("apply_batch", (WriteBatch.PUT,)),
+        ("multi_get", (b"a",)),
+    ]
+    assert engine._data[b"a"] == b"3"
+
+
+def test_execute_batch_handles_deletes_and_single_ops():
+    engine = _FakeEngine()
+    engine.put(b"a", b"0")
+    engine.put(b"b", b"0")
+    batch = [
+        _op(OpKind.DELETE, b"a"),
+        _op(OpKind.READ, b"a"),
+        _op(OpKind.SCAN, b"a"),
+        _op(OpKind.READ, b"b"),
+    ]
+    execute_batch(engine, batch)
+    assert b"a" not in engine._data
+    kinds = [call[0] for call in engine.calls]
+    assert kinds[0] == "apply_batch"  # the delete
+    assert "multi_get" in kinds

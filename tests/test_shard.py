@@ -1,0 +1,366 @@
+"""Sharded engine: routing, overlapped fan-out, scans, resize safety.
+
+Covers the tentpole claims: batches cost the max (not the sum) of
+per-shard device time, cross-shard scans merge in order, tombstones
+mask versions stranded on old owners after a range resize, and four
+shards deliver at least 3x the batched read throughput of one tree.
+"""
+
+import pytest
+
+from repro.baselines import BLSMEngine, WriteBatch, validate_io_summary
+from repro.core import BLSMOptions
+from repro.core.options import derive_shard_options
+from repro.shard import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardedEngine,
+    fnv1a_bytes,
+    make_partitioner,
+)
+from repro.testing import run_model_workload, verify_against_model
+from repro.ycsb import WorkloadSpec, load_phase, run_batched_workload
+from repro.ycsb.generator import make_key
+
+
+def small_options(**overrides):
+    defaults = dict(c0_bytes=32 * 1024, buffer_pool_pages=16)
+    defaults.update(overrides)
+    return BLSMOptions(**defaults)
+
+
+def make_engine(shards=4, partitioner=None, **overrides):
+    return ShardedEngine(
+        small_options(**overrides), shards=shards, partitioner=partitioner
+    )
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+
+
+def test_fnv1a_matches_reference_vectors():
+    # Published FNV-1a 64-bit test vectors: routing must be stable
+    # across processes and Python versions.
+    assert fnv1a_bytes(b"") == 0xCBF29CE484222325
+    assert fnv1a_bytes(b"a") == 0xAF63DC4C8601EC8C
+    assert fnv1a_bytes(b"foobar") == 0x85944171F73967E8
+
+
+def test_hash_partitioner_spreads_and_is_deterministic():
+    part = HashPartitioner(4)
+    keys = [b"user%019d" % i for i in range(400)]
+    buckets = [0] * 4
+    for key in keys:
+        index = part.shard_for(key)
+        assert part.shard_for(key) == index
+        assert part.owners(key) == (index,)
+        buckets[index] += 1
+    assert all(count > 50 for count in buckets)
+
+
+def test_hash_partitioner_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        HashPartitioner(0)
+
+
+def test_range_partitioner_routes_by_boundary():
+    part = RangePartitioner([b"g", b"p"])
+    assert part.nshards == 3
+    assert part.shard_for(b"a") == 0
+    assert part.shard_for(b"g") == 1  # boundary key goes right
+    assert part.shard_for(b"m") == 1
+    assert part.shard_for(b"z") == 2
+
+
+def test_range_partitioner_from_sample_balances():
+    keys = [b"k%04d" % i for i in range(100)]
+    part = RangePartitioner.from_sample(keys, 4)
+    counts = [0] * 4
+    for key in keys:
+        counts[part.shard_for(key)] += 1
+    assert max(counts) - min(counts) <= 2
+
+
+def test_range_partitioner_rejects_bad_boundaries():
+    with pytest.raises(ValueError):
+        RangePartitioner([])
+    with pytest.raises(ValueError):
+        RangePartitioner([b"b", b"a"])
+    with pytest.raises(ValueError):
+        RangePartitioner([b"a", b"a"])
+
+
+def test_range_resize_keeps_history_in_owners():
+    part = RangePartitioner([b"m"])
+    assert part.owners(b"c") == (0,)
+    part.resize([b"b"])  # keys in [b, m) move from shard 0 to shard 1
+    assert part.resized
+    assert part.shard_for(b"c") == 1
+    assert part.owners(b"c") == (1, 0)  # current first, then historic
+    assert part.owners(b"a") == (0,)  # unmoved keys have one owner
+    with pytest.raises(ValueError):
+        part.resize([b"a", b"b"])  # shard count must not change
+
+
+def test_make_partitioner_names():
+    assert isinstance(make_partitioner("hash", 4), HashPartitioner)
+    ranged = make_partitioner("range", 2, sample=[b"a", b"b", b"c", b"d"])
+    assert isinstance(ranged, RangePartitioner)
+    with pytest.raises(ValueError):
+        make_partitioner("range", 4)  # needs a sample
+    with pytest.raises(ValueError):
+        make_partitioner("consistent", 4)
+
+
+# ----------------------------------------------------------------------
+# Router semantics
+# ----------------------------------------------------------------------
+
+
+def test_point_ops_route_and_read_back():
+    engine = make_engine(shards=3)
+    items = {b"key%04d" % i: b"value%04d" % i for i in range(60)}
+    for key, value in items.items():
+        engine.put(key, value)
+    for key, value in items.items():
+        assert engine.get(key) == value
+    engine.delete(b"key0000")
+    assert engine.get(b"key0000") is None
+    assert engine.get(b"missing") is None
+    engine.close()
+
+
+def test_model_check_against_dict():
+    engine = make_engine(shards=4)
+    model = run_model_workload(engine, operations=1200, seed=7)
+    verify_against_model(engine, model)
+    engine.close()
+
+
+def test_partitioner_shard_count_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ShardedEngine(small_options(), shards=4, partitioner=HashPartitioner(2))
+
+
+def test_sharding_rejects_fault_plan():
+    from repro.faults import FaultPlan
+
+    with pytest.raises(ValueError):
+        derive_shard_options(
+            small_options(fault_plan=FaultPlan(seed=0)), index=0
+        )
+
+
+def test_shard_clocks_never_pass_the_router():
+    engine = make_engine(shards=4)
+    for i in range(200):
+        engine.put(b"key%04d" % i, b"v" * 64)
+    engine.multi_get([b"key%04d" % i for i in range(0, 200, 7)])
+    for shard in engine.shards:
+        assert shard.clock.now <= engine.clock.now + 1e-12
+    engine.close()
+
+
+def test_multi_get_matches_sequential_gets():
+    engine = make_engine(shards=4)
+    for i in range(100):
+        engine.put(b"key%04d" % i, b"value%04d" % i)
+    keys = [b"key%04d" % i for i in range(0, 140, 3)]  # includes misses
+    assert engine.multi_get(keys) == [engine.get(key) for key in keys]
+    engine.close()
+
+
+def test_apply_batch_matches_sequential_application():
+    batch = WriteBatch()
+    for i in range(50):
+        batch.put(b"key%04d" % i, b"value%04d" % i)
+    batch.delete(b"key0004").put(b"key0007", b"rewritten")
+
+    batched = make_engine(shards=4)
+    batched.apply_batch(batch)
+    sequential = make_engine(shards=4)
+    for i in range(50):
+        sequential.put(b"key%04d" % i, b"value%04d" % i)
+    sequential.delete(b"key0004")
+    sequential.put(b"key0007", b"rewritten")
+
+    for i in range(50):
+        key = b"key%04d" % i
+        assert batched.get(key) == sequential.get(key)
+    batched.close()
+    sequential.close()
+
+
+def test_batch_cost_is_max_not_sum_of_shard_time():
+    # Uncached reads spanning all shards: the router's clock advance
+    # must equal the slowest shard's service time, and undercut the
+    # serial sum whenever more than one shard participated.
+    engine = make_engine(shards=4, c0_bytes=16 * 1024, buffer_pool_pages=4)
+    # Hashed YCSB-style keys: sorted synthetic keys would load in order
+    # and serve reads straight from each shard's write path, costing no
+    # device time at all.
+    load_keys = [make_key(i, ordered=False) for i in range(1200)]
+    for key in load_keys:
+        engine.put(key, b"v" * 512)
+    engine.flush()
+    keys = load_keys[::7]
+    before = engine.clock.now
+    engine.multi_get(keys)
+    elapsed = engine.clock.now - before
+    events = [
+        event
+        for event in engine.trace("shard_batch")
+        if event.get("kind") == "multi_get"
+    ]
+    assert events
+    last = events[-1]
+    per_shard = last.get("per_shard")
+    assert len(per_shard) == 4  # uniform keys touched every shard
+    assert last.get("seconds") == pytest.approx(max(per_shard.values()))
+    assert sum(per_shard.values()) > last.get("seconds") > 0.0
+    assert elapsed >= last.get("seconds")
+    engine.close()
+
+
+def test_read_modify_write_routes_through_batch():
+    engine = make_engine(shards=2)
+    engine.put(b"counter", b"1")
+    result = engine.read_modify_write(
+        b"counter", lambda old: b"%d" % (int(old) + 1)
+    )
+    assert result == b"2"
+    assert engine.get(b"counter") == b"2"
+    assert engine.trace("rmw")  # attribution event fired
+    engine.close()
+
+
+def test_insert_if_not_exists_checks_all_owners():
+    part = RangePartitioner([b"m"])
+    engine = make_engine(shards=2, partitioner=part)
+    engine.put(b"c", b"old")
+    part.resize([b"b"])  # b"c" now owned by shard 1, version lives on 0
+    assert engine.insert_if_not_exists(b"c", b"new") is False
+    assert engine.get(b"c") == b"old"
+    assert engine.insert_if_not_exists(b"fresh", b"v") is True
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# Cross-shard scans (satellite 4: merged order, limits, tombstones)
+# ----------------------------------------------------------------------
+
+
+def test_scan_merges_shards_in_key_order():
+    engine = make_engine(shards=4)
+    items = {b"key%04d" % i: b"value%04d" % i for i in range(120)}
+    for key, value in items.items():
+        engine.put(key, value)
+    rows = list(engine.scan(b"key0000"))
+    assert rows == sorted(items.items())
+    engine.close()
+
+
+def test_scan_limit_cuts_across_shard_boundaries():
+    engine = make_engine(shards=4)
+    for i in range(100):
+        engine.put(b"key%04d" % i, b"v%04d" % i)
+    rows = list(engine.scan(b"key0010", limit=17))
+    assert [key for key, _ in rows] == [b"key%04d" % i for i in range(10, 27)]
+    bounded = list(engine.scan(b"key0000", b"key0009", limit=50))
+    assert [key for key, _ in bounded] == [b"key%04d" % i for i in range(9)]
+    engine.close()
+
+
+def test_scan_after_resize_prefers_newest_owner_and_masks_tombstones():
+    part = RangePartitioner([b"key0050"])
+    engine = make_engine(shards=2, partitioner=part)
+    for i in range(100):
+        engine.put(b"key%04d" % i, b"old%04d" % i)
+    # Move the split: keys [key0030, key0050) now belong to shard 1,
+    # but their pre-resize versions remain physically on shard 0.
+    part.resize([b"key0030"])
+    engine.put(b"key0040", b"rewritten")  # new version on the new owner
+    engine.delete(b"key0044")  # tombstone must broadcast to both owners
+
+    assert engine.get(b"key0040") == b"rewritten"
+    assert engine.get(b"key0035") == b"old0035"  # fallback to old owner
+    assert engine.get(b"key0044") is None
+
+    rows = dict(engine.scan(b"key0000"))
+    assert rows[b"key0040"] == b"rewritten"  # newest owner wins the merge
+    assert b"key0044" not in rows  # stranded version stays masked
+    assert len(rows) == 99
+    assert list(rows) == sorted(rows)
+    engine.close()
+
+
+def test_multi_get_falls_back_through_placement_history():
+    part = RangePartitioner([b"key0050"])
+    engine = make_engine(shards=2, partitioner=part)
+    for i in range(100):
+        engine.put(b"key%04d" % i, b"v%04d" % i)
+    part.resize([b"key0030"])
+    keys = [b"key0035", b"key0010", b"key0070", b"key0040"]
+    assert engine.multi_get(keys) == [
+        b"v0035", b"v0010", b"v0070", b"v0040"
+    ]
+    assert engine.metrics()["shard.fallback_reads"] > 0
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+
+def test_io_summary_schema_and_shard_rows():
+    engine = make_engine(shards=3)
+    for i in range(150):
+        engine.put(b"key%04d" % i, b"v" * 200)
+    summary = validate_io_summary(engine.io_summary(), "sharded")
+    assert summary["shards"] == 3
+    assert len(summary["per_shard"]) == 3
+    assert summary["data_seeks"] == sum(
+        s["data_seeks"] for s in summary["per_shard"]
+    )
+    rows = engine.shard_rows()
+    assert [row["shard"] for row in rows] == [0, 1, 2]
+    assert sum(row["ops"] for row in rows) == 150
+    metrics = engine.metrics()
+    assert metrics["shard.batches"] == 150
+    assert "shard0.disk.hdd-data.busy_seconds" in metrics
+    engine.close()
+
+
+# ----------------------------------------------------------------------
+# Acceptance: 4 shards >= 3x one tree on batched uniform reads
+# ----------------------------------------------------------------------
+
+
+def test_four_shards_triple_batched_read_throughput():
+    spec = WorkloadSpec(
+        record_count=3000,
+        operation_count=1500,
+        read_proportion=1.0,
+        request_distribution="uniform",
+        value_bytes=1000,
+    )
+    tuning = dict(c0_bytes=64 * 1024, buffer_pool_pages=16)
+
+    sharded = make_engine(shards=4, **tuning)
+    load_phase(sharded, spec, seed=1, batch_size=64)
+    sharded_run = run_batched_workload(sharded, spec, seed=2, batch_size=64)
+    sharded.close()
+
+    single = BLSMEngine(small_options(**tuning))
+    load_phase(single, spec, seed=1, batch_size=64)
+    single_run = run_batched_workload(single, spec, seed=2, batch_size=64)
+    single.close()
+
+    assert single_run.throughput > 0
+    speedup = sharded_run.throughput / single_run.throughput
+    assert speedup >= 3.0, f"speedup {speedup:.2f}x below the 3x acceptance bar"
+    assert sharded_run.batch is not None
+    assert sharded_run.batch.operations == spec.operation_count
