@@ -488,6 +488,51 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential conformance fuzzing (docs/correctness.md).
+
+    Generates seeded traces and replays each through every registry
+    engine — plus a multi-shard config and a fault-plan config — against
+    the dictionary oracle; ``--faults crash``/``all`` add the crash-
+    schedule composition sweep.  Any divergence is minimized and filed
+    into ``--corpus-out``; ``--corpus DIR`` instead replays an existing
+    corpus as a regression suite.
+    """
+    from repro.testing import format_fuzz_report, fuzz, replay_corpus
+
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    if args.corpus is not None:
+        results = replay_corpus(args.corpus, progress=progress)
+        failed = 0
+        for path, failures in results:
+            status = "OK" if not failures else f"{len(failures)} FAILURES"
+            print(f"  {path}: {status}")
+            for failure in failures:
+                print(f"    {failure}")
+            failed += bool(failures)
+        print(
+            f"corpus: {len(results)} trace(s), "
+            f"{'all OK' if failed == 0 else f'{failed} failing'}"
+        )
+        return 0 if failed == 0 else 1
+    engines = args.engines.split(",") if args.engines else None
+    report = fuzz(
+        rounds=args.rounds,
+        ops=args.ops,
+        seed=args.seed,
+        engines=engines,
+        shards=args.shards,
+        faults=args.faults,
+        crash_every=args.crash_every,
+        crash_ops=args.crash_ops,
+        budget_seconds=args.budget_seconds or None,
+        corpus_dir=args.corpus_out,
+        progress=progress,
+    )
+    print(format_fuzz_report(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -696,6 +741,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines"
     )
     crashtest.set_defaults(fn=_cmd_crashtest)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing: one trace, every engine",
+    )
+    fuzz.add_argument(
+        "--ops", type=int, default=2000,
+        help="operations per generated trace",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--rounds", type=int, default=1,
+        help="traces to generate (seed, seed+1, ...)",
+    )
+    fuzz.add_argument(
+        "--budget-seconds", type=float, default=0.0, metavar="S",
+        help="stop starting new rounds after S wall-clock seconds",
+    )
+    fuzz.add_argument(
+        "--engines", default=None, metavar="A,B,...",
+        help="comma-separated registry engines (default: all)",
+    )
+    fuzz.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard count for the sharded config (min 2)",
+    )
+    fuzz.add_argument(
+        "--faults", choices=("none", "plans", "crash", "all"),
+        default="plans",
+        help="fault schedule: plans = semantically-invisible fault-plan "
+        "config in the matrix; crash = crash-composition sweep; all = both",
+    )
+    fuzz.add_argument(
+        "--crash-every", type=int, default=40, metavar="N",
+        help="crash-sweep boundary stride (with --faults crash/all)",
+    )
+    fuzz.add_argument(
+        "--crash-ops", type=int, default=120, metavar="N",
+        help="companion crash-trace length (with --faults crash/all)",
+    )
+    fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="replay every trace in DIR as a regression suite "
+        "instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--corpus-out", default=None, metavar="DIR",
+        help="file minimized repros for any divergence into DIR",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    fuzz.set_defaults(fn=_cmd_fuzz)
     return parser
 
 

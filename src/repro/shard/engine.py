@@ -174,8 +174,28 @@ class ShardedEngine(KVEngine):
         return value
 
     def put(self, key: bytes, value: bytes) -> None:
-        index = self.partitioner.shard_for(key)
-        self._on_shard(index, lambda s: s.put(key, value), "put")
+        """Write to the current owner and tombstone every historic one.
+
+        The invalidation keeps the fleet-wide invariant that at most one
+        *live* version of a key exists across all owners: without it, a
+        later resize that re-promotes an old owner would let ``get``
+        find that shard's stale copy before falling back to the newer
+        write (the differential harness caught exactly this).  With a
+        single owner — the hash-partitioned common case — this is the
+        plain one-shard put it always was.
+        """
+        owners = self.partitioner.owners(key)
+        if len(owners) == 1:
+            self._on_shard(owners[0], lambda s: s.put(key, value), "put")
+            return
+        groups: dict[int, Callable[[KVEngine], None]] = {
+            owners[0]: lambda s: s.put(key, value)
+        }
+        for index in owners[1:]:
+            groups[index] = lambda s: s.delete(key)
+        for index in groups:
+            self._shard_ops[index].inc()
+        self._fan_out(groups, "put", ops=len(groups))
 
     def delete(self, key: bytes) -> None:
         """Tombstone every owner, current and historic, so a version
@@ -188,8 +208,30 @@ class ShardedEngine(KVEngine):
             self._shard_ops[index].inc()
         self._fan_out(groups, "delete", ops=len(groups))
 
+    def _delta_target(self, key: bytes) -> int:
+        """The shard a delta must land on: wherever the base version is.
+
+        After a range resize the current owner may hold nothing while
+        the base version sits on a historic owner.  Routing the delta
+        blindly to the current owner would strand it there as a dangling
+        delta — which resolves to *no value* — while reads fall back to
+        the historic owner and return the base **without** the delta
+        (silent lost update; docs/correctness.md, bug 7).  So deltas
+        probe the placement history exactly like reads do and land on
+        the first owner that holds a version; with a single owner (the
+        common case) there is nothing to probe.
+        """
+        owners = self.partitioner.owners(key)
+        if len(owners) == 1:
+            return owners[0]
+        for index in owners:
+            if self._on_shard(index, lambda s: s.get(key), "get") is not None:
+                return index
+        return owners[0]
+
     def apply_delta(self, key: bytes, delta: bytes) -> None:
-        index = self.partitioner.shard_for(key)
+        """Partial update on the shard holding the base version."""
+        index = self._delta_target(key)
         self._on_shard(index, lambda s: s.apply_delta(key, delta), "delta")
 
     def insert_if_not_exists(self, key: bytes, value: bytes) -> bool:
@@ -260,23 +302,42 @@ class ShardedEngine(KVEngine):
     ) -> None:
         """Apply a write batch with per-shard sub-batches overlapped.
 
-        Puts and deltas route to the current owner; deletes broadcast
-        to every historic owner (tombstones are the resize-safety
-        mechanism).  Within each shard the original operation order is
+        Puts write the current owner and tombstone historic owners;
+        deletes broadcast to every owner (tombstones are the
+        resize-safety mechanism); deltas route wherever the base version
+        lives (``_delta_target``) — unless an earlier mutation in this
+        very batch already placed the key, in which case the delta
+        follows it so per-key order within the batch is preserved on one
+        shard.  Within each shard the original operation order is
         preserved, so per-key ordering semantics match the sequential
         default.
         """
         by_shard: dict[int, WriteBatch] = {}
+        placed: dict[bytes, int] = {}
         ops = 0
         for op, key, value in batch:
             ops += 1
             if op == WriteBatch.DELETE:
-                targets = self.partitioner.owners(key)
+                owners = self.partitioner.owners(key)
+                placed[key] = owners[0]
+                routed = [(index, (op, key, value)) for index in owners]
+            elif op == WriteBatch.PUT:
+                owners = self.partitioner.owners(key)
+                placed[key] = owners[0]
+                routed = [(owners[0], (op, key, value))]
+                routed += [
+                    (index, (WriteBatch.DELETE, key, None))
+                    for index in owners[1:]
+                ]
             else:
-                targets = (self.partitioner.shard_for(key),)
-            for index in targets:
+                target = placed.get(key)
+                if target is None:
+                    target = self._delta_target(key)
+                    placed[key] = target
+                routed = [(target, (op, key, value))]
+            for index, entry in routed:
                 sub = by_shard.setdefault(index, WriteBatch())
-                sub._ops.append((op, key, value))
+                sub._ops.append(entry)
         if not by_shard:
             return
 

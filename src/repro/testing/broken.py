@@ -1,0 +1,102 @@
+"""Deliberately buggy engine wrappers that validate the harness itself.
+
+A conformance harness that has never caught a bug proves nothing; these
+wrappers inject the classic LSM semantic bugs *by construction* so tests
+(and sceptical humans) can watch the differential executor catch them
+and the minimizer shrink them.  They are also the honesty check the
+acceptance bar demands: ``repro fuzz`` against a ``BrokenEngine`` must
+flag a divergence and produce a tiny corpus repro, every time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.baselines.interface import KVEngine
+from repro.shard.partitioner import fnv1a_bytes
+from repro.sim.clock import VirtualClock
+
+__all__ = ["BrokenEngine"]
+
+
+class BrokenEngine(KVEngine):
+    """A delegating wrapper with one seeded-in semantic bug.
+
+    Bugs (deterministic, so minimized repros replay):
+
+    * ``drop-tombstone`` — silently ignores deletes of keys whose FNV-1a
+      hash is ``0 (mod 4)``: deleted keys resurrect (the classic
+      compaction-filter bug class from the Sarkar et al. design-space
+      study);
+    * ``lost-delta`` — drops every second ``apply_delta``: partial
+      updates intermittently vanish (a batching/routing bug shape);
+    * ``stale-scan`` — range scans drop their first row, while point
+      reads stay correct (an iterator off-by-one only scan verification
+      catches).
+    """
+
+    BUGS = ("drop-tombstone", "lost-delta", "stale-scan")
+
+    def __init__(self, inner: KVEngine, bug: str = "drop-tombstone") -> None:
+        if bug not in self.BUGS:
+            raise ValueError(f"unknown bug {bug!r}; expected one of {self.BUGS}")
+        self._inner = inner
+        self._bug = bug
+        self._delta_calls = 0
+        self.name = f"broken[{bug}]-{inner.name}"
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The wrapped engine's clock."""
+        return self._inner.clock
+
+    @property
+    def runtime(self):
+        """The wrapped engine's observability runtime."""
+        return self._inner.runtime
+
+    def get(self, key: bytes) -> bytes | None:
+        """Point lookup (delegated faithfully)."""
+        return self._inner.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Blind write (delegated faithfully)."""
+        self._inner.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        """Remove a key — except the ``drop-tombstone`` bug's victims."""
+        if self._bug == "drop-tombstone" and fnv1a_bytes(key) % 4 == 0:
+            return
+        self._inner.delete(key)
+
+    def apply_delta(self, key: bytes, delta: bytes) -> None:
+        """Partial update — every second one vanishes under ``lost-delta``."""
+        self._delta_calls += 1
+        if self._bug == "lost-delta" and self._delta_calls % 2 == 0:
+            return
+        self._inner.apply_delta(key, delta)
+
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Range scan — ``stale-scan`` silently drops the first row."""
+        rows = self._inner.scan(lo, hi, limit)
+        if self._bug == "stale-scan":
+            next(rows, None)
+        return rows
+
+    def insert_if_not_exists(self, key: bytes, value: bytes) -> bool:
+        """Conditional insert (delegated faithfully)."""
+        return self._inner.insert_if_not_exists(key, value)
+
+    def flush(self) -> None:
+        """Force logs (delegated faithfully)."""
+        self._inner.flush()
+
+    def close(self) -> None:
+        """Shut down the wrapped engine."""
+        self._inner.close()
+
+    def io_summary(self) -> dict[str, Any]:
+        """The wrapped engine's device counters."""
+        return self._inner.io_summary()

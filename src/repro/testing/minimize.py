@@ -1,0 +1,116 @@
+"""Greedy trace minimization: shrink a failing trace to a small repro.
+
+A fuzzer finding is only useful once a human can read it; a 2000-op
+trace with one dropped tombstone is not readable.  The minimizer runs
+greedy delta debugging (Zeller's ddmin, simplified): repeatedly try
+removing chunks of halving sizes, keeping any removal after which the
+caller's ``still_failing`` predicate holds, then simplify surviving
+``batch`` ops mutation-by-mutation.  The predicate must build a *fresh*
+engine per attempt (see :class:`~repro.testing.differential.FuzzConfig`);
+determinism of the whole stack — seeded traces, virtual clocks, seeded
+fault plans — is what makes every probe meaningful.
+
+The end product is a corpus file under ``tests/corpus/`` via
+:func:`write_corpus_file`: a plain JSON trace with replay hints in its
+``meta``, replayed forever after by ``tests/test_corpus.py`` and
+``repro fuzz --corpus``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.testing.trace import Trace, TraceOp
+
+__all__ = ["minimize_trace", "write_corpus_file"]
+
+
+def _simplify_batches(
+    trace: Trace, still_failing: Callable[[Trace], bool]
+) -> Trace:
+    """Strip individual mutations out of surviving batch ops."""
+    ops = list(trace.ops)
+    for index, op in enumerate(ops):
+        if op.kind != "batch":
+            continue
+        mutations = list(op.mutations)
+        cursor = 0
+        while cursor < len(mutations) and len(mutations) > 1:
+            candidate = mutations[:cursor] + mutations[cursor + 1:]
+            attempt = ops[:index] + [TraceOp.batch(candidate)] + ops[index + 1:]
+            if still_failing(trace.replace_ops(attempt)):
+                mutations = candidate
+            else:
+                cursor += 1
+        if len(mutations) != len(op.mutations):
+            ops[index] = TraceOp.batch(mutations)
+    return trace.replace_ops(ops)
+
+
+def minimize_trace(
+    trace: Trace,
+    still_failing: Callable[[Trace], bool],
+    max_probes: int = 2000,
+) -> Trace:
+    """Shrink a failing trace while ``still_failing`` keeps holding.
+
+    Greedy and deterministic: chunk removal at halving granularity until
+    a fixed point, then per-mutation batch simplification.  The input
+    trace is assumed failing (the caller just observed the failure);
+    the result is guaranteed failing — every kept reduction was
+    re-validated through the predicate.  ``max_probes`` bounds total
+    predicate invocations so pathological predicates cannot spin
+    forever.
+    """
+    ops = list(trace.ops)
+    probes = 0
+
+    def probe(candidate: list[TraceOp]) -> bool:
+        nonlocal probes
+        if probes >= max_probes:
+            return False
+        probes += 1
+        return still_failing(trace.replace_ops(candidate))
+
+    changed = True
+    while changed and probes < max_probes:
+        changed = False
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1:
+            index = 0
+            while index < len(ops):
+                candidate = ops[:index] + ops[index + chunk:]
+                if candidate and probe(candidate):
+                    ops = candidate
+                    changed = True
+                else:
+                    index += chunk
+            chunk //= 2
+    minimized = _simplify_batches(
+        trace.replace_ops(ops),
+        lambda t: probes < max_probes and still_failing(t),
+    )
+    return minimized
+
+
+def write_corpus_file(
+    trace: Trace,
+    directory: str,
+    name: str,
+    note: str | None = None,
+) -> str:
+    """Write a trace into a corpus directory; return the file path.
+
+    ``name`` becomes ``<directory>/<name>.json``; an existing file of
+    that name is overwritten (re-running a fuzz seed regenerates the
+    same repro).  ``note`` lands in the trace ``meta`` so the corpus
+    file explains itself.
+    """
+    os.makedirs(directory, exist_ok=True)
+    if note is not None:
+        trace = trace.replace_ops(trace.ops)
+        trace.meta["note"] = note
+    path = os.path.join(directory, f"{name}.json")
+    trace.save(path)
+    return path

@@ -6,9 +6,10 @@ their own against :class:`repro.baselines.KVEngine`):
 
 * :func:`run_model_workload` — drive any engine and a dictionary model
   with the same random operation stream, verifying reads as it goes;
-* :func:`check_blsm_invariants` / :func:`check_partitioned_invariants`
-  — structural deep checks (sortedness, version ordering, space
-  accounting, partition tiling);
+* :func:`check_blsm_invariants` / :func:`check_partitioned_invariants` /
+  :func:`check_sharded_invariants` — structural deep checks (sortedness,
+  version ordering, space accounting, partition tiling, router/placement
+  agreement);
 * :func:`crash_recover_check` — crash an engine mid-flight and verify
   recovery against the model.
 """
@@ -157,6 +158,49 @@ def check_partitioned_invariants(tree: PartitionedBLSM) -> None:
             for record in partition.c1.iter_records():
                 if record.key in older:
                     assert record.seqno > older[record.key]
+
+
+def check_sharded_invariants(engine) -> None:
+    """Structural deep check of a :class:`~repro.shard.ShardedEngine`.
+
+    Verifies the fleet-level invariants on top of the per-tree ones:
+
+    * the partitioner routes across exactly the engine's shard count;
+    * no shard's clock is ahead of the router's (a shard working in the
+      future would let fan-outs smuggle device time into the past);
+    * every bLSM shard passes :func:`check_blsm_invariants`;
+    * router/placement agreement: every key physically live on a shard
+      names that shard in the partitioner's placement history
+      (``owners``) — a key outside its owner set is unreachable to
+      reads and proof of a routing bug.
+
+    The per-shard scans the check performs advance shard clocks; the
+    router clock is re-synchronized afterwards so the engine remains
+    usable (and the clock invariant re-established) after a check.
+    """
+    partitioner = engine.partitioner
+    assert partitioner.nshards == len(engine.shards), (
+        f"partitioner routes {partitioner.nshards} shards, engine has "
+        f"{len(engine.shards)}"
+    )
+    for index, shard in enumerate(engine.shards):
+        assert shard.clock.now <= engine.clock.now + 1e-9, (
+            f"shard {index} clock ({shard.clock.now}) is ahead of the "
+            f"router ({engine.clock.now})"
+        )
+    for index, shard in enumerate(engine.shards):
+        tree = getattr(shard, "tree", None)
+        if isinstance(tree, BLSM):
+            check_blsm_invariants(tree)
+        for key, _ in shard.scan(b""):
+            owners = partitioner.owners(key)
+            assert index in owners, (
+                f"shard {index} holds {key!r} but the placement history "
+                f"names only shards {owners}"
+            )
+    engine.clock.advance_to(
+        max(shard.clock.now for shard in engine.shards)
+    )
 
 
 def crash_recover_check(

@@ -335,3 +335,55 @@ def test_bench_without_baseline(capsys):
     )
     assert code == 0
     assert "speedup" not in out
+
+
+def test_fuzz_differential_clean(capsys):
+    code, out = run_cli(
+        capsys, "fuzz", "--ops", "200", "--seed", "0", "--quiet",
+    )
+    assert code == 0
+    assert "all engines agree" in out
+    # The default matrix covers every registry engine, a 2-shard
+    # config, and the fault-plan config.
+    assert "sharded-2" in out
+    assert "blsm-faulty" in out
+
+
+def test_fuzz_with_crash_composition(capsys):
+    code, out = run_cli(
+        capsys, "fuzz", "--ops", "150", "--seed", "1", "--faults", "all",
+        "--crash-every", "80", "--crash-ops", "40", "--quiet",
+    )
+    assert code == 0
+    assert "crash compose" in out
+
+
+def test_fuzz_engine_subset(capsys):
+    code, out = run_cli(
+        capsys, "fuzz", "--ops", "150", "--engines", "btree,bitcask",
+        "--faults", "none", "--quiet",
+    )
+    assert code == 0
+    assert "btree" in out and "bitcask" in out
+    assert "blsm-faulty" not in out
+
+
+def test_fuzz_corpus_replay(capsys, tmp_path):
+    from repro.testing import Trace, TraceOp
+
+    Trace(
+        [TraceOp.put(b"k", b"v"), TraceOp.get(b"k")],
+        meta={"mode": "differential", "engines": ["btree"]},
+    ).save(str(tmp_path / "one.json"))
+    code, out = run_cli(capsys, "fuzz", "--corpus", str(tmp_path), "--quiet")
+    assert code == 0
+    assert "all OK" in out
+
+
+def test_fuzz_corpus_replay_shipped_corpus(capsys):
+    import os
+
+    corpus = os.path.join(os.path.dirname(__file__), "corpus")
+    code, out = run_cli(capsys, "fuzz", "--corpus", corpus, "--quiet")
+    assert code == 0
+    assert "all OK" in out
