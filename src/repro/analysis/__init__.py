@@ -6,12 +6,20 @@ from repro.analysis.amplification import (
     cascade_bandwidth_amplification,
     cascade_read_amplification,
     figure2_series,
+    geometric_levels,
+    per_level_write_amplification,
+    policy_read_amplification,
+    policy_run_counts,
+    policy_space_amplification,
+    policy_table,
+    policy_write_amplification,
     read_fanout,
 )
 from repro.analysis.crossover import (
     crossover_object_bytes,
     crossover_table,
     log_structured_write_seconds,
+    policy_crossover_table,
     update_in_place_write_seconds,
 )
 from repro.analysis.five_minute import DeviceSpec, cache_gb_table, STANDARD_DEVICES
@@ -34,10 +42,18 @@ __all__ = [
     "crossover_object_bytes",
     "crossover_table",
     "figure2_series",
+    "geometric_levels",
     "log_structured_write_seconds",
     "update_in_place_write_seconds",
     "level_ratio",
     "optimal_levels_for_write",
+    "per_level_write_amplification",
+    "policy_crossover_table",
+    "policy_read_amplification",
+    "policy_run_counts",
+    "policy_space_amplification",
+    "policy_table",
+    "policy_write_amplification",
     "read_amplification",
     "read_fanout",
     "tradeoff_table",

@@ -1,4 +1,14 @@
-"""Read amplification models: Bloom filters vs fractional cascading.
+"""Amplification models: Bloom filters, cascading, and the policy space.
+
+Two families of models live here.  The first backs the paper's Figure 2
+(Bloom filters vs fractional cascading, below).  The second generalizes
+the repo's original hardcoded three-component arithmetic to the N-level
+compaction design space (Sarkar et al., PAPERS.md): given a policy name,
+a level count and a size ratio, :func:`policy_write_amplification`,
+:func:`policy_read_amplification` and
+:func:`policy_space_amplification` place it on the write/read/space
+trade-off triangle, and :func:`policy_table` tabulates the whole design
+space at once — the analytic twin of ``repro bench --policy all``.
 
 Figure 2 plots worst-case read amplification against data size (in
 multiples of available RAM) for two designs:
@@ -81,6 +91,173 @@ def bloom_bandwidth_amplification(
 ) -> float:
     """Pages transferred per probe with Bloom filters (one per seek)."""
     return bloom_read_amplification(data_over_ram, components, false_positive_rate)
+
+
+# ----------------------------------------------------------------------
+# The N-level compaction design space (generalizes the 3-slot arithmetic)
+# ----------------------------------------------------------------------
+
+
+def geometric_levels(data_over_base: float, ratio: float) -> int:
+    """On-disk levels a geometric ``base * ratio^level`` tree needs.
+
+    ``data_over_base`` is total data over the level-1 budget; one level
+    suffices while the data fits it, and every factor of ``ratio``
+    beyond adds a level.
+    """
+    if ratio <= 1.0:
+        raise ValueError(f"ratio must exceed 1, got {ratio}")
+    if data_over_base <= 1.0:
+        return 1
+    return 1 + max(1, math.ceil(math.log(data_over_base, ratio)))
+
+
+def policy_run_counts(
+    policy: str, levels: int, fanout: int = 4
+) -> list[int]:
+    """Worst-case resident sorted runs per on-disk level.
+
+    ``leveled`` keeps one run everywhere; ``tiered`` stacks ``fanout``
+    runs per level; ``lazy-leveled`` tiers the upper levels and keeps a
+    single-run bottom; ``blsm3`` is the paper's fixed layout — C1 and
+    C1' share the first on-disk level, C2 is the second.
+    """
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    if policy == "blsm3":
+        return [2, 1]
+    if policy == "leveled":
+        return [1] * levels
+    if policy == "tiered":
+        return [fanout] * levels
+    if policy == "lazy-leveled":
+        return [fanout] * (levels - 1) + [1]
+    raise ValueError(f"unknown compaction policy {policy!r}")
+
+
+def policy_write_amplification(
+    policy: str, levels: int, ratio: float, fanout: int = 4
+) -> float:
+    """Merge I/O (read + write bytes) per ingested byte, per policy.
+
+    Delegates to the policy objects' own
+    ``estimated_write_amplification`` so the analytic tables, the
+    spring-and-gear scheduler and the bench sweep share one formula;
+    ``blsm3`` uses the leveled formula over its two on-disk levels.
+    """
+    from repro.core.compaction.policy import make_policy
+
+    if policy == "blsm3":
+        return make_policy("leveled").estimated_write_amplification(2, ratio)
+    return make_policy(
+        policy, fanout=fanout
+    ).estimated_write_amplification(levels, ratio)
+
+
+def per_level_write_amplification(
+    policy: str, levels: int, ratio: float, fanout: int = 4
+) -> list[float]:
+    """The per-level breakdown :func:`policy_write_amplification` sums.
+
+    Each entry is the merge I/O a byte pays to cross (or settle in) one
+    level: ``2 * (1 + ratio)`` for a leveled crossing (the byte is
+    rewritten together with the ~``ratio``-times-larger resident run),
+    ``2.0`` for a tiered crossing (copied once, never rewritten).
+    """
+    counts = policy_run_counts(policy, levels, fanout)
+    leveled_cost = 2.0 * (1.0 + ratio)
+    if policy == "blsm3":
+        # C1' is a promoted C1, not an extra tier: both on-disk levels
+        # rewrite their resident run per crossing (leveled cost).
+        return [leveled_cost, leveled_cost]
+    return [leveled_cost if count <= 1 else 2.0 for count in counts]
+
+
+def policy_read_amplification(
+    policy: str,
+    levels: int,
+    fanout: int = 4,
+    false_positive_rate: float = 0.0,
+) -> float:
+    """Worst-case seeks per point lookup, per policy.
+
+    Without Bloom filters a lookup probes every resident run; with them
+    it pays one seek for the run holding the key plus ``fpr`` expected
+    seeks per other filter — the N-level generalization of
+    :func:`bloom_read_amplification`.
+    """
+    runs = sum(policy_run_counts(policy, levels, fanout))
+    if false_positive_rate <= 0.0:
+        return float(runs)
+    return 1.0 + (runs - 1) * false_positive_rate
+
+
+def policy_space_amplification(
+    policy: str, ratio: float, fanout: int = 4
+) -> float:
+    """Worst-case physical/logical size ratio, per policy.
+
+    Leveling bounds stale versions to the upper levels' share
+    (``1 + 1/ratio``); tiering may hold ``fanout`` full copies in its
+    bottom level; lazy leveling's single-run bottom restores the
+    leveled bound except for its tiered upper levels
+    (``1 + fanout/ratio``).  ``blsm3`` keeps two ``data/ratio``-sized
+    upper components (C1 and C1') above C2.
+    """
+    if ratio <= 1.0:
+        raise ValueError(f"ratio must exceed 1, got {ratio}")
+    if policy == "blsm3":
+        return 1.0 + 2.0 / ratio
+    if policy == "leveled":
+        return 1.0 + 1.0 / ratio
+    if policy == "tiered":
+        return float(fanout)
+    if policy == "lazy-leveled":
+        return 1.0 + fanout / ratio
+    raise ValueError(f"unknown compaction policy {policy!r}")
+
+
+def policy_table(
+    policies: list[str] | None = None,
+    data_over_base: float = 64.0,
+    ratio: float = 4.0,
+    fanout: int = 4,
+    false_positive_rate: float = 0.01,
+) -> list[dict[str, object]]:
+    """The design space in one table: amplifications per policy.
+
+    Rows carry ``policy``, ``levels``, ``write_amp`` (with its
+    ``per_level`` breakdown), ``read_seeks`` (Bloom-filtered and
+    filterless) and ``space_amp`` at one data size — the analytic
+    counterpart of the measured ``BENCH_6.json`` sweep.
+    """
+    from repro.core.compaction.policy import POLICY_NAMES
+
+    names = list(policies) if policies else list(POLICY_NAMES)
+    levels = geometric_levels(data_over_base, ratio)
+    rows: list[dict[str, object]] = []
+    for name in names:
+        depth = 2 if name == "blsm3" else levels
+        rows.append(
+            {
+                "policy": name,
+                "levels": depth,
+                "write_amp": policy_write_amplification(
+                    name, depth, ratio, fanout
+                ),
+                "per_level": per_level_write_amplification(
+                    name, depth, ratio, fanout
+                ),
+                "read_seeks": policy_read_amplification(
+                    name, depth, fanout, false_positive_rate
+                ),
+                "read_seeks_no_bloom": policy_read_amplification(
+                    name, depth, fanout
+                ),
+                "space_amp": policy_space_amplification(name, ratio, fanout),
+            }
+        )
+    return rows
 
 
 def read_fanout(

@@ -63,6 +63,54 @@ def crossover_object_bytes(
     return access * model.seq_write_bandwidth / extra_copies
 
 
+def policy_crossover_table(
+    data_over_base: float = 64.0,
+    ratio: float = 4.0,
+    fanout: int = 4,
+    policies: list[str] | None = None,
+) -> list[tuple[str, float, dict[str, float]]]:
+    """Crossover sizes per device and *compaction policy*.
+
+    Generalizes :func:`crossover_table` away from hand-picked write
+    amplifications: each policy's amplification comes from the shared
+    design-space model (:mod:`repro.analysis.amplification`), so the
+    table answers "above what object size does a B-Tree beat *this*
+    policy on *this* device?" for the whole design space at once.
+    :func:`crossover_object_bytes` counts object *copies*; the policy
+    model counts read+write I/O bytes, so copies are half of it.
+
+    Returns rows of (device name, access time, {policy: crossover bytes}).
+    """
+    from repro.analysis.amplification import (
+        geometric_levels,
+        policy_write_amplification,
+    )
+    from repro.core.compaction.policy import POLICY_NAMES
+
+    names = list(policies) if policies else list(POLICY_NAMES)
+    levels = geometric_levels(data_over_base, ratio)
+    rows: list[tuple[str, float, dict[str, float]]] = []
+    for model in (DiskModel.single_hdd(), DiskModel.hdd(), DiskModel.ssd()):
+        crossovers = {
+            name: crossover_object_bytes(
+                model,
+                policy_write_amplification(
+                    name, 2 if name == "blsm3" else levels, ratio, fanout
+                )
+                / 2.0,
+            )
+            for name in names
+        }
+        rows.append(
+            (
+                model.name,
+                model.read_access_seconds + model.write_access_seconds,
+                crossovers,
+            )
+        )
+    return rows
+
+
 def crossover_table(
     write_amplifications: list[float] | None = None,
 ) -> list[tuple[str, float, list[float]]]:

@@ -14,6 +14,7 @@
 from repro.baselines.bitcask_engine import BitCaskEngine
 from repro.baselines.blsm_engine import BLSMEngine
 from repro.baselines.btree_engine import BTreeEngine
+from repro.baselines.compaction_engine import CompactionEngine
 from repro.baselines.interface import (
     IO_SUMMARY_KEYS,
     KVEngine,
@@ -28,6 +29,7 @@ __all__ = [
     "BitCaskEngine",
     "BLSMEngine",
     "BTreeEngine",
+    "CompactionEngine",
     "IO_SUMMARY_KEYS",
     "KVEngine",
     "LevelDBEngine",

@@ -1,0 +1,71 @@
+"""Adapter exposing policy compaction trees through the engine interface.
+
+One adapter serves every non-``blsm3`` compaction policy: the policy
+name in :attr:`BLSMOptions.compaction_policy` selects the layout, and
+:func:`repro.core.compaction.make_tree` builds the matching
+:class:`~repro.core.compaction.tree.CompactionTree`.  The registry in
+:mod:`repro.engines` registers one engine name per policy so benchmark
+sweeps and the differential fuzzer iterate the design space with the
+same loop they use for every other engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.baselines.interface import KVEngine
+from repro.core.compaction import make_tree
+from repro.core.options import BLSMOptions
+from repro.sim.clock import VirtualClock
+
+
+class CompactionEngine(KVEngine):
+    """A policy-parameterized compaction tree behind the engine interface."""
+
+    name = "compaction"
+
+    def __init__(self, options: BLSMOptions | None = None) -> None:
+        if options is None:
+            options = BLSMOptions(compaction_policy="leveled")
+        self.tree = make_tree(options)
+        self.name = options.compaction_policy
+
+    @property
+    def clock(self) -> VirtualClock:
+        return self.tree.stasis.clock
+
+    def get(self, key: bytes) -> bytes | None:
+        return self.tree.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.tree.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.tree.delete(key)
+
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        return self.tree.scan(lo, hi, limit)
+
+    def insert_if_not_exists(self, key: bytes, value: bytes) -> bool:
+        return self.tree.insert_if_not_exists(key, value)
+
+    def apply_delta(self, key: bytes, delta: bytes) -> None:
+        self.tree.apply_delta(key, delta)
+
+    def flush(self) -> None:
+        self.tree.flush_log()
+
+    def close(self) -> None:
+        self.tree.close()
+
+    def io_summary(self) -> dict[str, Any]:
+        summary = self.tree.stasis.io_summary()
+        view = self.tree.level_view()
+        summary["level_runs"] = [len(level) for level in view["levels"]]
+        return summary
+
+    def level_view(self) -> dict[str, Any]:
+        """Layout snapshot (policy, per-level runs and budgets)."""
+        return self.tree.level_view()

@@ -354,6 +354,162 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _bench_policies(args: argparse.Namespace) -> int:
+    """The compaction design-space sweep (``repro bench --policy ...``).
+
+    Runs the identical workload — ``--records`` distinct loads then
+    ``--ops`` uniform point reads — through every requested policy and
+    reports, per policy: load and read throughput, measured write
+    amplification (device bytes written per logical byte ingested) and
+    read seeks per operation.  Bloom filters are disabled so the
+    leveled-vs-tiered read-cost difference is visible rather than
+    hidden behind filters; each tree drains its merge debt before the
+    read phase so policies are compared at equal, settled data volume.
+
+    ``--json`` writes the machine-readable result (the repo's
+    ``BENCH_*.json`` perf-trajectory format); ``--assert-crossover``
+    turns the sweep into the CI gate that tiered write-amp is strictly
+    below leveled's while leveled reads strictly fewer seeks; and
+    ``--assert-blsm3-floor`` guards the paper tree's read throughput
+    against regressions.
+    """
+    import json as _json
+    import random
+
+    from repro.analysis.amplification import policy_table
+    from repro.baselines.compaction_engine import CompactionEngine
+    from repro.core.compaction.policy import POLICY_NAMES
+    from repro.core.options import BLSMOptions
+
+    disk = _disk(args.disk)
+    names = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
+    keys = [b"user%08d" % i for i in range(args.records)]
+    value = bytes(args.value_bytes)
+    rows: list[dict] = []
+    for policy in names:
+        options = BLSMOptions(
+            compaction_policy=policy,
+            c0_bytes=args.c0_bytes,
+            buffer_pool_pages=args.cache_pages,
+            disk_model=disk,
+            with_bloom_filters=False,
+            level_ratio=args.level_ratio,
+            tier_fanout=args.fanout,
+            seed=args.seed,
+        )
+        engine = CompactionEngine(options)
+        rng = random.Random(args.seed)
+        load_order = list(keys)
+        rng.shuffle(load_order)
+        logical_bytes = 0
+        started = engine.clock.now
+        for key in load_order:
+            engine.put(key, value)
+            logical_bytes += len(key) + len(value)
+        engine.tree.drain()  # settle merge debt: equal data volume
+        load_seconds = engine.clock.now - started
+        loaded = engine.io_summary()
+        write_amp = loaded["data_bytes_written"] / max(1, logical_bytes)
+        read_started = engine.clock.now
+        seeks_before = engine.seeks()
+        for _ in range(args.ops):
+            assert engine.get(rng.choice(keys)) is not None
+        read_seconds = engine.clock.now - read_started
+        read_seeks = (engine.seeks() - seeks_before) / max(1, args.ops)
+        view = engine.level_view()
+        rows.append(
+            {
+                "policy": policy,
+                "load_ops_per_s": args.records / max(1e-9, load_seconds),
+                "read_ops_per_s": args.ops / max(1e-9, read_seconds),
+                "write_amp": write_amp,
+                "read_seeks_per_op": read_seeks,
+                "logical_bytes": logical_bytes,
+                "data_bytes_written": int(loaded["data_bytes_written"]),
+                "level_runs": [len(level) for level in view["levels"]],
+            }
+        )
+        engine.close()
+    print(
+        f"policy sweep: records={args.records} ops={args.ops} "
+        f"value={args.value_bytes}B c0={args.c0_bytes}B disk={disk.name} "
+        f"ratio={args.level_ratio:g} fanout={args.fanout} (bloom off)"
+    )
+    header = (
+        f"{'policy':14s}{'load ops/s':>12s}{'read ops/s':>12s}"
+        f"{'write-amp':>11s}{'seeks/op':>10s}  runs/level"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['policy']:14s}{row['load_ops_per_s']:12,.0f}"
+            f"{row['read_ops_per_s']:12,.0f}{row['write_amp']:11.2f}"
+            f"{row['read_seeks_per_op']:10.2f}  {row['level_runs']}"
+        )
+    by_policy = {row["policy"]: row for row in rows}
+    checks: dict[str, bool] = {}
+    if "leveled" in by_policy and "tiered" in by_policy:
+        checks["tiered_write_amp_below_leveled"] = (
+            by_policy["tiered"]["write_amp"]
+            < by_policy["leveled"]["write_amp"]
+        )
+        checks["leveled_seeks_below_tiered"] = (
+            by_policy["leveled"]["read_seeks_per_op"]
+            < by_policy["tiered"]["read_seeks_per_op"]
+        )
+        checks["equal_data_volume"] = (
+            by_policy["leveled"]["logical_bytes"]
+            == by_policy["tiered"]["logical_bytes"]
+        )
+    payload = {
+        "bench": "compaction-policy-sweep",
+        "config": {
+            "records": args.records,
+            "ops": args.ops,
+            "value_bytes": args.value_bytes,
+            "c0_bytes": args.c0_bytes,
+            "cache_pages": args.cache_pages,
+            "disk": disk.name,
+            "level_ratio": args.level_ratio,
+            "fanout": args.fanout,
+            "seed": args.seed,
+            "with_bloom_filters": False,
+        },
+        "policies": rows,
+        "crossover": checks,
+        "analytic": policy_table(
+            names, ratio=args.level_ratio, fanout=args.fanout
+        ),
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    failed = False
+    if args.assert_crossover:
+        if not checks:
+            print("FAIL: crossover assertion needs leveled and tiered runs")
+            failed = True
+        for name, passed in checks.items():
+            if not passed:
+                print(f"FAIL: crossover check {name}")
+                failed = True
+    if args.assert_blsm3_floor > 0:
+        blsm3 = by_policy.get("blsm3")
+        if blsm3 is None:
+            print("FAIL: --assert-blsm3-floor needs the blsm3 policy")
+            failed = True
+        elif blsm3["read_ops_per_s"] < args.assert_blsm3_floor:
+            print(
+                f"FAIL: blsm3 read throughput "
+                f"{blsm3['read_ops_per_s']:,.0f} ops/s below floor "
+                f"{args.assert_blsm3_floor:,.0f}"
+            )
+            failed = True
+    return 1 if failed else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Batched uniform-read throughput (YCSB C issued in client batches).
 
@@ -365,6 +521,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     into a pass/fail gate (CI uses ``--baseline-stripes`` to give the
     baseline the same total device budget as the shards).
     """
+    if args.policy != "none":
+        return _bench_policies(args)
     disk = _disk(args.disk)
     spec = WorkloadSpec(
         record_count=args.records,
@@ -711,6 +869,35 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--assert-speedup", type=float, default=0.0, metavar="X",
         help="exit 1 unless engine throughput >= X times the baseline's",
+    )
+    bench.add_argument(
+        "--policy",
+        choices=("none", "blsm3", "leveled", "tiered", "lazy-leveled", "all"),
+        default="none",
+        help="run the compaction design-space sweep instead of the "
+        "sharded gate ('all' sweeps every policy in one invocation)",
+    )
+    bench.add_argument(
+        "--level-ratio", type=float, default=4.0, metavar="T",
+        help="geometric level size ratio for the policy sweep",
+    )
+    bench.add_argument(
+        "--fanout", type=int, default=4, metavar="K",
+        help="tiered/lazy-leveled runs per level for the policy sweep",
+    )
+    bench.add_argument(
+        "--json", default="", metavar="PATH",
+        help="write machine-readable results (BENCH_*.json format)",
+    )
+    bench.add_argument(
+        "--assert-crossover", action="store_true",
+        help="exit 1 unless tiered write-amp < leveled and leveled "
+        "read seeks < tiered at equal data volume",
+    )
+    bench.add_argument(
+        "--assert-blsm3-floor", type=float, default=0.0, metavar="OPS",
+        help="exit 1 if the blsm3 policy's read throughput drops below "
+        "OPS ops/s (CI regression guard)",
     )
     bench.set_defaults(fn=_cmd_bench)
 

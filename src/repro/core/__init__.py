@@ -6,6 +6,15 @@ insert-if-not-exists, snowshoveling, and a pluggable merge scheduler
 (naive, gear, or spring-and-gear).
 """
 
+from repro.core.compaction import (
+    POLICY_NAMES,
+    CompactionPolicy,
+    CompactionTree,
+    LevelManager,
+    MergePlan,
+    make_policy,
+    make_tree,
+)
 from repro.core.options import BLSMOptions
 from repro.core.partitioned import PartitionedBLSM
 from repro.core.scheduler import (
@@ -20,10 +29,17 @@ from repro.core.tree import BLSM
 __all__ = [
     "BLSM",
     "BLSMOptions",
+    "CompactionPolicy",
+    "CompactionTree",
     "GearScheduler",
+    "LevelManager",
+    "MergePlan",
     "MergeScheduler",
     "NaiveScheduler",
     "PartitionedBLSM",
+    "POLICY_NAMES",
     "SpringGearScheduler",
+    "make_policy",
     "make_scheduler",
+    "make_tree",
 ]

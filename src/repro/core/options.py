@@ -136,6 +136,34 @@ class BLSMOptions:
     """Optional data-device capacity; overflowing writes raise
     :class:`~repro.errors.DeviceFullError`."""
 
+    compaction_policy: str = "blsm3"
+    """On-disk layout policy (the design-space axis): ``blsm3`` is the
+    paper's three-level tree, served by :class:`~repro.core.tree.BLSM`
+    unchanged; ``leveled``, ``tiered`` and ``lazy-leveled`` build a
+    :class:`~repro.core.compaction.tree.CompactionTree` over the
+    generalized :class:`~repro.core.compaction.manager.LevelManager`."""
+
+    level_ratio: float = 4.0
+    """Geometric size ratio between adjacent levels of a policy tree:
+    ``max_bytes(level) = level_base_bytes * level_ratio^level``.  (The
+    ``blsm3`` policy keeps its own adaptive R, clamped by
+    :attr:`min_r`/:attr:`max_r`.)"""
+
+    level_base_bytes: int | None = None
+    """Level-1 byte budget of a policy tree.  ``None`` derives
+    ``level0_trigger * c0_bytes`` — one L0's worth of memtable flushes."""
+
+    level0_trigger: int = 4
+    """Level-0 run count that makes the L0 merge due (policy trees)."""
+
+    level0_stop_trigger: int = 12
+    """Level-0 run count at which the writer hard-stalls and drains
+    merges inline (LevelDB's stop trigger; policy trees only)."""
+
+    tier_fanout: int = 4
+    """Runs a tiered (or lazy-leveled upper) level stacks before its
+    runs merge into one run in the next level."""
+
     def __post_init__(self) -> None:
         if self.c0_bytes <= 0:
             raise ValueError("c0_bytes must be positive")
@@ -161,6 +189,34 @@ class BLSMOptions:
         if self.stripe_chunk_bytes <= 0:
             raise ValueError(
                 f"stripe_chunk_bytes must be positive, got {self.stripe_chunk_bytes}"
+            )
+        from repro.core.compaction.policy import POLICY_NAMES
+
+        if self.compaction_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown compaction policy {self.compaction_policy!r}; "
+                f"expected one of {POLICY_NAMES}"
+            )
+        if self.level_ratio <= 1.0:
+            raise ValueError(
+                f"level_ratio must exceed 1, got {self.level_ratio}"
+            )
+        if self.level_base_bytes is not None and self.level_base_bytes <= 0:
+            raise ValueError(
+                f"level_base_bytes must be positive, got {self.level_base_bytes}"
+            )
+        if self.level0_trigger < 1:
+            raise ValueError(
+                f"level0_trigger must be >= 1, got {self.level0_trigger}"
+            )
+        if self.level0_stop_trigger < self.level0_trigger:
+            raise ValueError(
+                "level0_stop_trigger must be >= level0_trigger, got "
+                f"{self.level0_stop_trigger} < {self.level0_trigger}"
+            )
+        if self.tier_fanout < 2:
+            raise ValueError(
+                f"tier_fanout must be >= 2, got {self.tier_fanout}"
             )
         if self.data_stripes > 1 and self.fault_plan is not None:
             raise ValueError(

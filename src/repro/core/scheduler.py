@@ -25,28 +25,41 @@ application write and performs merge work (advancing the shared virtual
 clock) plus any deliberate stall.  The latency a write observes is exactly
 the clock advance across its call — merge work a scheduler fails to
 spread out shows up as a latency spike, just as in the paper's Figure 7.
+
+Schedulers are written against a *merge host* surface, not a concrete
+tree class: any object exposing ``c0_fill_fraction``, the two gears'
+``m01_*``/``m12_*`` progress and input-size properties,
+``write_amplification_estimate()``, ``step_m01``/``step_m12`` and
+``force_drain`` can attach.  :class:`repro.core.tree.BLSM` maps the
+gears onto its C0:C1 and C1':C2 merges;
+:class:`repro.core.compaction.tree.CompactionTree` maps them onto its
+level-0-sourced and deeper policy merges, which is how one scheduler
+implementation paces every compaction policy (docs/compaction.md).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.compaction.tree import CompactionTree
     from repro.core.tree import BLSM
+
+    MergeHost = Union["BLSM", "CompactionTree"]
 
 
 class MergeScheduler(ABC):
-    """Base class wiring a scheduler to its tree."""
+    """Base class wiring a scheduler to its merge host."""
 
     def __init__(self) -> None:
-        self._tree: "BLSM | None" = None
+        self._tree: "MergeHost | None" = None
 
-    def attach(self, tree: "BLSM") -> None:
+    def attach(self, tree: "MergeHost") -> None:
         self._tree = tree
 
     @property
-    def tree(self) -> "BLSM":
+    def tree(self) -> "MergeHost":
         if self._tree is None:
             raise RuntimeError("scheduler is not attached to a tree")
         return self._tree

@@ -579,6 +579,42 @@ class BLSM:
             "extras": sum(extra.nbytes for extra in self._extras),
         }
 
+    def level_view(self) -> dict[str, Any]:
+        """Layout snapshot in the generalized N-level vocabulary.
+
+        Maps the paper's fixed slots onto levels so cross-policy tooling
+        (``repro bench --policy``, docs/compaction.md) can render every
+        engine the same way: level 0 holds the §3.2 extra components
+        (overlapping runs, like any L0), level 1 C1 and C1', level 2 C2.
+        """
+        levels: list[list[dict[str, int]]] = [
+            [
+                {"nbytes": extra.nbytes, "key_count": extra.key_count}
+                for extra in self._extras
+            ],
+            [
+                {"nbytes": c.nbytes, "key_count": c.key_count}
+                for c in (self._c1, self._c1_prime)
+                if c is not None
+            ],
+            [
+                {"nbytes": self._c2.nbytes, "key_count": self._c2.key_count}
+            ]
+            if self._c2 is not None
+            else [],
+        ]
+        return {
+            "policy": "blsm3",
+            "memtable_bytes": self._memtable.nbytes
+            + (self._frozen.nbytes if self._frozen is not None else 0),
+            "levels": levels,
+            "max_bytes": [
+                int(self._c0_capacity),
+                int(self._r * self._c0_capacity),
+                int(self._r * self._r * self._c0_capacity),
+            ],
+        }
+
     def memory_footprint(self) -> dict[str, int]:
         """RAM consumed per role (Appendix A's accounting).
 

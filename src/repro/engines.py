@@ -27,6 +27,7 @@ from repro.baselines import (
     BitCaskEngine,
     BLSMEngine,
     BTreeEngine,
+    CompactionEngine,
     KVEngine,
     LevelDBEngine,
     PartitionedBLSMEngine,
@@ -125,6 +126,12 @@ def _build_bitcask(config: EngineConfig) -> KVEngine:
     return BitCaskEngine(disk_model=config.disk)
 
 
+def _build_policy(config: EngineConfig, policy: str) -> KVEngine:
+    return CompactionEngine(
+        replace(blsm_options(config), compaction_policy=policy)
+    )
+
+
 def _build_leveldb(config: EngineConfig) -> KVEngine:
     return LevelDBEngine(
         disk_model=config.disk,
@@ -164,6 +171,23 @@ _REGISTRY: dict[str, EngineSpec] = {
         EngineSpec("btree", _build_btree),
         EngineSpec("leveldb", _build_leveldb),
         EngineSpec("bitcask", _build_bitcask),
+        # The compaction design-space lab: one engine per policy, all
+        # the same CompactionEngine over make_tree (docs/compaction.md).
+        EngineSpec(
+            "leveled",
+            lambda config: _build_policy(config, "leveled"),
+            supports_faults=True,
+        ),
+        EngineSpec(
+            "tiered",
+            lambda config: _build_policy(config, "tiered"),
+            supports_faults=True,
+        ),
+        EngineSpec(
+            "lazy-leveled",
+            lambda config: _build_policy(config, "lazy-leveled"),
+            supports_faults=True,
+        ),
     )
 }
 
@@ -226,9 +250,17 @@ def build_engine(
 #: accepts a shared FaultPlan and all device traffic forms one serial
 #: access sequence (which is why striped and sharded engines — N
 #: independent device sets — cannot appear here).
-CRASH_ENGINE_NAMES: tuple[str, ...] = ("blsm", "partitioned")
+CRASH_ENGINE_NAMES: tuple[str, ...] = (
+    "blsm",
+    "partitioned",
+    "leveled",
+    "tiered",
+    "lazy-leveled",
+)
 
 _CRASH_PARTITION_BYTES = 24 * 1024
+
+_POLICY_CRASH_NAMES = ("leveled", "tiered", "lazy-leveled")
 
 
 def crash_options(plan: FaultPlan | None, seed: int) -> BLSMOptions:
@@ -259,6 +291,12 @@ def build_crash_tree(name: str, plan: FaultPlan | None, seed: int) -> Any:
             crash_options(plan, seed),
             max_partition_bytes=_CRASH_PARTITION_BYTES,
         )
+    if name in _POLICY_CRASH_NAMES:
+        from repro.core.compaction import CompactionTree
+
+        return CompactionTree(
+            replace(crash_options(plan, seed), compaction_policy=name)
+        )
     raise ValueError(
         f"unknown engine {name!r}; expected one of {CRASH_ENGINE_NAMES}"
     )
@@ -276,6 +314,10 @@ def recover_crash_tree(name: str, stasis: Any, options: Any) -> Any:
         return PartitionedBLSM.recover(
             stasis, options, max_partition_bytes=_CRASH_PARTITION_BYTES
         )
+    if name in _POLICY_CRASH_NAMES:
+        from repro.core.compaction import CompactionTree
+
+        return CompactionTree.recover(stasis, options)
     raise ValueError(
         f"unknown engine {name!r}; expected one of {CRASH_ENGINE_NAMES}"
     )

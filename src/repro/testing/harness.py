@@ -204,30 +204,41 @@ def fuzz(
                 merge_work_fraction=0.08,
                 crash_fraction=0.03,
             )
-            marker_failures = run_crash_trace(
-                crash_trace, engine="blsm", seed=round_seed
-            )
-            sweep = enumerate_trace_crash_points(
-                crash_trace,
-                engine="blsm",
-                every=crash_every,
-                seed=round_seed,
-                progress=progress,
-            )
-            report.crash_boundaries += sweep.boundaries_tested
-            report.crashes_triggered += sweep.crashes_triggered
-            report.crash_failures.extend(marker_failures)
-            report.crash_failures.extend(
-                failure
-                for outcome in sweep.failures
-                for failure in outcome.failures
-            )
-            if progress is not None:
-                progress(
-                    f"  crash compose: {sweep.boundaries_tested} boundaries, "
-                    f"{sweep.crashes_triggered} crashes, "
-                    f"{len(sweep.failures)} failures"
+            # Every crash-capable tree gets a schedule: the bLSM tree,
+            # its partitioned variant, and one config per compaction
+            # policy — so a recovery bug in any layout fails the fuzz
+            # run, not just bugs in the paper's own tree.
+            from repro.engines import CRASH_ENGINE_NAMES
+
+            for crash_engine in CRASH_ENGINE_NAMES:
+                marker_failures = run_crash_trace(
+                    crash_trace, engine=crash_engine, seed=round_seed
                 )
+                sweep = enumerate_trace_crash_points(
+                    crash_trace,
+                    engine=crash_engine,
+                    every=crash_every,
+                    seed=round_seed,
+                    progress=progress,
+                )
+                report.crash_boundaries += sweep.boundaries_tested
+                report.crashes_triggered += sweep.crashes_triggered
+                report.crash_failures.extend(
+                    f"[{crash_engine}] {failure}"
+                    for failure in marker_failures
+                )
+                report.crash_failures.extend(
+                    f"[{crash_engine}] {failure}"
+                    for outcome in sweep.failures
+                    for failure in outcome.failures
+                )
+                if progress is not None:
+                    progress(
+                        f"  crash compose [{crash_engine}]: "
+                        f"{sweep.boundaries_tested} boundaries, "
+                        f"{sweep.crashes_triggered} crashes, "
+                        f"{len(sweep.failures)} failures"
+                    )
         report.rounds_run += 1
     report.elapsed_seconds = time.monotonic() - started
     return report

@@ -13,11 +13,12 @@ from repro.baselines import (
     BitCaskEngine,
     BLSMEngine,
     BTreeEngine,
+    CompactionEngine,
     KVEngine,
     LevelDBEngine,
     PartitionedBLSMEngine,
 )
-from repro.core import BLSM, PartitionedBLSM
+from repro.core import BLSM, CompactionTree, PartitionedBLSM
 from repro.engines import (
     CRASH_ENGINE_NAMES,
     ENGINE_NAMES,
@@ -42,6 +43,9 @@ EXPECTED_TYPES = {
     "btree": BTreeEngine,
     "leveldb": LevelDBEngine,
     "bitcask": BitCaskEngine,
+    "leveled": CompactionEngine,
+    "tiered": CompactionEngine,
+    "lazy-leveled": CompactionEngine,
 }
 
 
@@ -180,7 +184,13 @@ def test_explicit_partitioner_object_still_works():
 
 
 def test_crash_engine_names():
-    assert CRASH_ENGINE_NAMES == ("blsm", "partitioned")
+    assert CRASH_ENGINE_NAMES == (
+        "blsm",
+        "partitioned",
+        "leveled",
+        "tiered",
+        "lazy-leveled",
+    )
 
 
 def test_crash_options_are_tiny_and_sync():
@@ -191,7 +201,14 @@ def test_crash_options_are_tiny_and_sync():
 
 
 @pytest.mark.parametrize(
-    "name, tree_type", [("blsm", BLSM), ("partitioned", PartitionedBLSM)]
+    "name, tree_type",
+    [
+        ("blsm", BLSM),
+        ("partitioned", PartitionedBLSM),
+        ("leveled", CompactionTree),
+        ("tiered", CompactionTree),
+        ("lazy-leveled", CompactionTree),
+    ],
 )
 def test_build_and_recover_crash_tree(name, tree_type):
     tree = build_crash_tree(name, None, seed=0)
