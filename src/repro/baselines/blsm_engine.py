@@ -18,6 +18,14 @@ class BLSMEngine(KVEngine):
     def __init__(self, options: BLSMOptions | None = None) -> None:
         self.tree = BLSM(options)
 
+    @classmethod
+    def from_tree(cls, tree: BLSM) -> "BLSMEngine":
+        """Wrap an already-built tree (e.g. one produced by crash
+        recovery) without constructing a fresh substrate."""
+        engine = cls.__new__(cls)
+        engine.tree = tree
+        return engine
+
     @property
     def clock(self) -> VirtualClock:
         return self.tree.stasis.clock

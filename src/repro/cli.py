@@ -354,6 +354,84 @@ def _cmd_crashtest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    """Online shard migration: crash matrix and live-traffic benchmark.
+
+    With ``--crash-matrix``: enumerate a crash at every migration
+    journal-force and step boundary, recover, verify acked writes plus
+    fleet invariants, resume to completion (the robustness gate).  With
+    ``--bench``: run the live split-under-Zipfian-traffic benchmark and
+    report p99 timelines against a quiescent baseline; ``--json`` writes
+    the machine-readable result (the ``BENCH_7.json`` format) and
+    ``--assert-p99-ratio`` turns it into the bounded-stall CI gate.
+    Neither flag runs both.
+    """
+    import json as _json
+
+    run_matrix = args.crash_matrix or not args.bench
+    run_bench = args.bench or not args.crash_matrix
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    status = 0
+    if run_matrix:
+        from repro.faults.crashpoints import (
+            enumerate_migration_crash_points,
+            format_migration_report,
+        )
+
+        report = enumerate_migration_crash_points(
+            ops=args.ops, seed=args.seed, progress=progress
+        )
+        print(format_migration_report(report))
+        if not report.ok:
+            status = 1
+    if run_bench:
+        from repro.shard.migration import live_migration_bench
+
+        result = live_migration_bench(
+            records=args.records,
+            batches=args.batches,
+            shards=args.shards,
+            seed=args.seed,
+        )
+        migration = result["migrating"]["migration"]
+        print(
+            f"live migration bench: {args.records} records, "
+            f"{args.batches} batches, {args.shards} shards"
+        )
+        print(
+            f"  quiescent p99 (read/write): "
+            f"{result['quiescent']['read_p99'] * 1e3:.3f} / "
+            f"{result['quiescent']['write_p99'] * 1e3:.3f} ms"
+        )
+        print(
+            f"  migrating p99 (read/write): "
+            f"{result['migrating']['read_p99'] * 1e3:.3f} / "
+            f"{result['migrating']['write_p99'] * 1e3:.3f} ms"
+        )
+        print(
+            f"  migrations completed: {migration['completed']} "
+            f"({migration['copied_keys']} keys copied, "
+            f"{migration['retired_keys']} retired, "
+            f"{migration['steps']} steps, "
+            f"{migration['deferred_steps']} deferred)"
+        )
+        print(f"  p99 ratio (migrating/quiescent): {result['p99_ratio']:.2f}")
+        if args.json:
+            with open(args.json, "w") as handle:
+                _json.dump(result, handle, indent=1)
+            print(f"  wrote {args.json}")
+        if migration["completed"] < 1:
+            print("FAIL: no migration completed under traffic")
+            status = 1
+        if args.assert_p99_ratio and result["p99_ratio"] > args.assert_p99_ratio:
+            print(
+                f"FAIL: p99 ratio {result['p99_ratio']:.2f} exceeds bound "
+                f"{args.assert_p99_ratio:.2f}"
+            )
+            status = 1
+    return status
+
+
 def _bench_policies(args: argparse.Namespace) -> int:
     """The compaction design-space sweep (``repro bench --policy ...``).
 
@@ -928,6 +1006,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines"
     )
     crashtest.set_defaults(fn=_cmd_crashtest)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="online shard migration: crash matrix and live-traffic bench",
+    )
+    migrate.add_argument(
+        "--crash-matrix", action="store_true",
+        help="enumerate crashes at every migration journal/step boundary",
+    )
+    migrate.add_argument(
+        "--bench", action="store_true",
+        help="run the live split-under-traffic p99 benchmark",
+    )
+    migrate.add_argument(
+        "--ops", type=int, default=120,
+        help="crash-matrix scripted workload length",
+    )
+    migrate.add_argument(
+        "--records", type=int, default=2400,
+        help="bench: records loaded before the workload",
+    )
+    migrate.add_argument(
+        "--batches", type=int, default=160,
+        help="bench: workload batches (reads and writes alternate)",
+    )
+    migrate.add_argument(
+        "--shards", type=int, default=4, help="bench: fleet size"
+    )
+    migrate.add_argument("--seed", type=int, default=0)
+    migrate.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="bench: write the machine-readable result to PATH",
+    )
+    migrate.add_argument(
+        "--assert-p99-ratio", type=float, default=0.0, metavar="R",
+        help="bench: fail unless migrating p99 <= R x quiescent p99",
+    )
+    migrate.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    migrate.set_defaults(fn=_cmd_migrate)
 
     fuzz = sub.add_parser(
         "fuzz",

@@ -76,6 +76,7 @@ class EngineConfig:
     shards: int = 4
     partitioner: str = "hash"
     partitioner_sample: tuple[bytes, ...] | None = None
+    migration: bool = False
     seed: int = 0
 
 
@@ -108,11 +109,16 @@ def _build_sharded(config: EngineConfig) -> KVEngine:
     partitioner = make_partitioner(
         config.partitioner, config.shards, config.partitioner_sample
     )
-    return ShardedEngine(
+    engine = ShardedEngine(
         blsm_options(config),
         shards=config.shards,
         partitioner=partitioner,
     )
+    if config.migration:
+        from repro.shard.migration import attach_migration
+
+        attach_migration(engine)
+    return engine
 
 
 def _build_btree(config: EngineConfig) -> KVEngine:

@@ -67,6 +67,25 @@ class TransientIOError(IOFaultError):
     """
 
 
+class RetryDeadlineError(IOFaultError):
+    """Raised when retries exhaust a policy's virtual-clock deadline.
+
+    Distinct from the attempt-count exhaustion path so callers can tell
+    "the device answered N times with errors" apart from "we ran out of
+    time budget while backing off" — a persistent fault under an
+    unbounded attempt budget surfaces here instead of retrying forever.
+    """
+
+    def __init__(self, what: str, deadline_seconds: float, attempts: int) -> None:
+        super().__init__(
+            f"{what}: retry deadline of {deadline_seconds}s exceeded "
+            f"after {attempts} attempt(s)"
+        )
+        self.what = what
+        self.deadline_seconds = deadline_seconds
+        self.attempts = attempts
+
+
 class CorruptionError(StorageError):
     """Raised when a checksum mismatch reveals corrupted durable data."""
 
@@ -109,6 +128,47 @@ class DuplicateKeyError(EngineError):
     def __init__(self, key: bytes) -> None:
         super().__init__(f"key already exists: {key!r}")
         self.key = key
+
+
+class ShardFanoutError(EngineError):
+    """One or more shards failed during a fleet-wide fan-out.
+
+    ``flush``/``close`` on a sharded engine must visit *every* shard even
+    when an early one raises (abandoning the rest would leave durable
+    state behind on healthy shards); the per-shard failures are collected
+    here so none is silently swallowed.
+    """
+
+    def __init__(self, op: str, errors: dict[int, Exception]) -> None:
+        detail = "; ".join(
+            f"shard {index}: {type(error).__name__}: {error}"
+            for index, error in sorted(errors.items())
+        )
+        super().__init__(f"{op} failed on {len(errors)} shard(s): {detail}")
+        self.op = op
+        self.errors = dict(errors)
+
+
+class MigrationError(EngineError):
+    """Raised when a shard migration is planned or driven incorrectly."""
+
+
+class StaleOwnerError(MigrationError):
+    """A write through a lease whose shard lost ownership (epoch fence).
+
+    After a migration's ownership switch the cluster epoch advances and
+    the source shard is fenced; a client still holding a pre-switch lease
+    gets this instead of a silently misplaced write.
+    """
+
+    def __init__(self, shard: int, lease_epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"shard {shard} lease at epoch {lease_epoch} is fenced "
+            f"(cluster epoch is now {current_epoch})"
+        )
+        self.shard = shard
+        self.lease_epoch = lease_epoch
+        self.current_epoch = current_epoch
 
 
 class WorkloadError(ReproError):

@@ -236,6 +236,295 @@ def enumerate_crash_points(
     return report
 
 
+@dataclass
+class MigrationCrashReport:
+    """Aggregate result of one migration crash-point enumeration run.
+
+    Two families of crash points cover the whole protocol surface:
+    *journal* boundaries (the process dies inside a migration-journal
+    force — plan, copy-start, catch-up-start, switch, retire-done,
+    prune) and *step* boundaries (the process dies between any two
+    controller steps, i.e. with arbitrary amounts of cleared/copied/
+    caught-up/retired data on the shards but no journal record in
+    flight).  Every crash must recover to a consistent ownership map,
+    read back every acknowledged write, and then be able to finish the
+    migration.
+    """
+
+    ops: int
+    seed: int
+    journal_accesses: int
+    migration_steps: int
+    points_tested: int = 0
+    crashes_triggered: int = 0
+    recoveries_verified: int = 0
+    journal_outcomes: list[CrashOutcome] = field(default_factory=list)
+    step_outcomes: list[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[CrashOutcome]:
+        return [
+            outcome
+            for outcome in self.journal_outcomes + self.step_outcomes
+            if not outcome.ok
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _build_migration_fleet(seed: int, journal_plan: FaultPlan | None) -> Any:
+    """A tiny 2-shard SYNC fleet with an attached migration controller.
+
+    Faults attach only to the migration journal: each shard's device
+    traffic is its own serial sequence (which is why the data-path crash
+    harness cannot drive sharded engines), but the journal *is* one
+    serial sequence — its force boundaries are exactly the protocol's
+    durable transitions.
+    """
+    from repro.core.options import BLSMOptions
+    from repro.shard.engine import ShardedEngine
+    from repro.shard.migration import (
+        MigrationJournal,
+        MigrationThrottle,
+        attach_migration,
+    )
+    from repro.shard.partitioner import RangePartitioner
+    from repro.storage.logical_log import DurabilityMode
+
+    options = BLSMOptions(
+        c0_bytes=8 * 1024,
+        buffer_pool_pages=16,
+        durability=DurabilityMode.SYNC,
+        seed=seed,
+    )
+    engine = ShardedEngine(
+        options,
+        shards=2,
+        partitioner=RangePartitioner([b"key-000100"]),
+    )
+    journal = MigrationJournal(fault_plan=journal_plan, seed=seed)
+    attach_migration(
+        engine,
+        journal=journal,
+        chunk_keys=8,
+        # The crash test wants step boundaries, not throttle boundaries:
+        # a full budget share means the controller never defers.
+        throttle=MigrationThrottle(1.0),
+    )
+    return engine
+
+
+def _drive_migration_workload(
+    engine: Any,
+    script: list[tuple[str, bytes, bytes | None]],
+    model: dict[bytes, bytes | None],
+    start_at: int,
+    stop_after_steps: int | None = None,
+) -> int:
+    """Interleave the scripted workload with migration steps.
+
+    At op ``start_at`` a split of shard 0 is planned and started; once
+    it retires, a merge of shard 0 follows — so both protocol kinds'
+    journal records and step boundaries are enumerated in one scenario.
+    Every workload op while a migration is active is followed by one
+    controller step.  Returns the number of steps taken; with
+    ``stop_after_steps`` set, stops stepping there (the driver then
+    crashes the fleet at that exact step boundary).  A journal-fault
+    :class:`~repro.errors.CrashPoint` propagates to the caller mid-drive
+    with ``model`` reflecting every op acknowledged so far.
+    """
+    from repro.shard.migration import plan_merge, plan_split
+
+    controller = engine.migration
+    steps = 0
+    started = 0  # how many of the scenario's two migrations began
+    for index, (op, key, value) in enumerate(script):
+        if op == "put":
+            engine.put(key, value)
+            model[key] = value
+        else:
+            engine.delete(key)
+            model[key] = None
+        if not controller.active and index >= start_at and started < 2:
+            planner = plan_split if started == 0 else plan_merge
+            plan = planner(engine, 0)
+            started += 1
+            if plan is not None:
+                controller.start(plan)
+        if controller.active:
+            if stop_after_steps is not None and steps >= stop_after_steps:
+                return steps
+            controller.step()
+            steps += 1
+    while controller.active:
+        if stop_after_steps is not None and steps >= stop_after_steps:
+            return steps
+        controller.step()
+        steps += 1
+    return steps
+
+
+def _verify_fleet(
+    recovered: Any, model: dict[bytes, bytes | None], outcome: CrashOutcome
+) -> None:
+    """Acked-write parity plus the fleet's structural invariants."""
+    for key, expected in sorted(model.items()):
+        actual = recovered.get(key)
+        if actual != expected:
+            outcome.failures.append(
+                f"key {key!r}: got {actual!r}, expected acked {expected!r}"
+            )
+    from repro.testing.model import check_sharded_invariants
+
+    try:
+        check_sharded_invariants(recovered)
+    except AssertionError as error:
+        outcome.failures.append(f"invariant violated: {error}")
+
+
+def enumerate_migration_crash_points(
+    ops: int = 120,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> MigrationCrashReport:
+    """Crash at every migration step and journal-force boundary; verify.
+
+    Three-phase, like :func:`enumerate_crash_points`: a disarmed-plan
+    counting run fixes the journal access count and step count for the
+    scripted scenario; then one fresh fleet per journal boundary crashes
+    inside that force, and one fresh fleet per step boundary crashes
+    between those steps.  Each crash recovers via
+    :func:`~repro.shard.migration.crash_and_recover`, is verified
+    against the acked-write model and the sharded invariants, resumes
+    the recovered migration to completion, and is verified again — a
+    consistent ownership map is not enough if the migration can never
+    finish.
+    """
+    from repro.shard.migration import crash_and_recover
+
+    if ops <= 0:
+        raise ValueError(f"ops must be positive, got {ops}")
+    script = scripted_workload(ops, seed=seed, keyspace=max(ops // 2, 16))
+    start_at = min(10, ops - 1)
+
+    count_plan = FaultPlan(seed=seed, armed=False)
+    engine = _build_migration_fleet(seed, count_plan)
+    count_plan.arm()
+    model: dict[bytes, bytes | None] = {}
+    total_steps = _drive_migration_workload(engine, script, model, start_at)
+    count_plan.disarm()
+    total_accesses = count_plan.access_count
+    engine.close()
+
+    report = MigrationCrashReport(
+        ops=ops,
+        seed=seed,
+        journal_accesses=total_accesses,
+        migration_steps=total_steps,
+    )
+
+    def finish_and_verify(
+        recovered: Any, model: dict[bytes, bytes | None], outcome: CrashOutcome
+    ) -> None:
+        _verify_fleet(recovered, model, outcome)
+        controller = recovered.migration
+        try:
+            if controller is not None and controller.active:
+                controller.run_to_completion()
+        except Exception as error:  # noqa: BLE001 — a stuck resume fails
+            outcome.failures.append(
+                f"resume raised {type(error).__name__}: {error}"
+            )
+            return
+        _verify_fleet(recovered, model, outcome)
+        partitioner = recovered.partitioner
+        if partitioner.history_depth:
+            outcome.failures.append(
+                f"placement history not pruned after completion "
+                f"(depth {partitioner.history_depth})"
+            )
+        recovered.close()
+
+    for access in range(1, total_accesses + 1):
+        outcome = CrashOutcome(
+            access_index=access, crashed=False, recovered=False
+        )
+        plan = FaultPlan.crash_at(access, seed=seed, armed=False)
+        engine = _build_migration_fleet(seed, plan)
+        model = {}
+        plan.arm()
+        try:
+            _drive_migration_workload(engine, script, model, start_at)
+        except CrashPoint:
+            outcome.crashed = True
+        finally:
+            plan.disarm()
+        if outcome.crashed:
+            report.crashes_triggered += 1
+            recovered = crash_and_recover(engine)
+            outcome.recovered = True
+            finish_and_verify(recovered, model, outcome)
+        else:
+            _verify_fleet(engine, model, outcome)
+            engine.close()
+        if outcome.ok and outcome.recovered:
+            report.recoveries_verified += 1
+        report.points_tested += 1
+        report.journal_outcomes.append(outcome)
+        if progress is not None:
+            progress(
+                f"migration crashtest: journal force {access}/"
+                f"{total_accesses}, {len(report.failures)} failures"
+            )
+
+    for boundary in range(total_steps + 1):
+        outcome = CrashOutcome(
+            access_index=boundary, crashed=False, recovered=False
+        )
+        engine = _build_migration_fleet(seed, None)
+        model = {}
+        _drive_migration_workload(
+            engine, script, model, start_at, stop_after_steps=boundary
+        )
+        outcome.crashed = True
+        report.crashes_triggered += 1
+        recovered = crash_and_recover(engine)
+        outcome.recovered = True
+        finish_and_verify(recovered, model, outcome)
+        if outcome.ok:
+            report.recoveries_verified += 1
+        report.points_tested += 1
+        report.step_outcomes.append(outcome)
+        if progress is not None and boundary % 10 == 0:
+            progress(
+                f"migration crashtest: step boundary {boundary}/"
+                f"{total_steps}, {len(report.failures)} failures"
+            )
+    return report
+
+
+def format_migration_report(report: MigrationCrashReport) -> str:
+    """Human-readable summary (the ``repro migrate --crash-matrix`` output)."""
+    lines = [
+        f"migration crash-point enumeration: ops={report.ops} "
+        f"seed={report.seed}",
+        f"  journal force boundaries : {report.journal_accesses}",
+        f"  migration step boundaries: {report.migration_steps + 1}",
+        f"  points tested            : {report.points_tested}",
+        f"  crashes triggered        : {report.crashes_triggered}",
+        f"  recoveries verified      : {report.recoveries_verified}",
+        f"  failures                 : {len(report.failures)}",
+    ]
+    for outcome in report.failures[:10]:
+        for failure in outcome.failures[:3]:
+            lines.append(f"    at boundary {outcome.access_index}: {failure}")
+    verdict = "PASS" if report.ok else "FAIL"
+    lines.append(f"  verdict                  : {verdict}")
+    return "\n".join(lines)
+
+
 def format_report(report: CrashTestReport) -> str:
     """Human-readable summary (the ``repro crashtest`` output)."""
     lines = [

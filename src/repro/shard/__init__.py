@@ -4,10 +4,27 @@ The paper's target deployment (Sections 1 and 6) is a PNUTS-style
 sharded web service; this package provides the router that turns N
 independent single-node trees into one
 :class:`~repro.baselines.interface.KVEngine` with batched operations
-whose cost is the max — not the sum — of per-shard device time.
+whose cost is the max — not the sum — of per-shard device time, plus
+the crash-safe online migration machinery (``repro.shard.migration``)
+that moves shard boundaries live under traffic.
 """
 
 from repro.shard.engine import ShardedEngine
+from repro.shard.migration import (
+    HotShardDetector,
+    MigrationController,
+    MigrationJournal,
+    MigrationPlan,
+    MigrationThrottle,
+    Rebalancer,
+    ShardLease,
+    attach_migration,
+    crash_and_recover,
+    live_migration_bench,
+    plan_merge,
+    plan_split,
+    shard_range,
+)
 from repro.shard.partitioner import (
     HashPartitioner,
     Partitioner,
@@ -18,9 +35,22 @@ from repro.shard.partitioner import (
 
 __all__ = [
     "HashPartitioner",
+    "HotShardDetector",
+    "MigrationController",
+    "MigrationJournal",
+    "MigrationPlan",
+    "MigrationThrottle",
     "Partitioner",
     "RangePartitioner",
+    "Rebalancer",
+    "ShardLease",
     "ShardedEngine",
+    "attach_migration",
+    "crash_and_recover",
     "fnv1a_bytes",
+    "live_migration_bench",
     "make_partitioner",
+    "plan_merge",
+    "plan_split",
+    "shard_range",
 ]

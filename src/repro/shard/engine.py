@@ -27,7 +27,7 @@ gets never resurrect a stale replica (see docs/sharding.md).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, Sequence, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence, TypeVar
 
 from repro.baselines.blsm_engine import BLSMEngine
 from repro.baselines.interface import (
@@ -36,9 +36,13 @@ from repro.baselines.interface import (
     build_io_summary,
 )
 from repro.core.options import BLSMOptions, derive_shard_options
+from repro.errors import ShardFanoutError
 from repro.obs.runtime import EngineRuntime
 from repro.shard.partitioner import HashPartitioner, Partitioner
 from repro.sim.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.migration import MigrationController, ShardLease
 
 T = TypeVar("T")
 
@@ -79,6 +83,7 @@ class ShardedEngine(KVEngine):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.partitioner = partitioner
+        self.options = opts
         if engine_factory is None:
             engine_factory = lambda index, shard_opts: BLSMEngine(shard_opts)
         self.shards: list[KVEngine] = [
@@ -99,6 +104,17 @@ class ShardedEngine(KVEngine):
             metrics.counter(f"shard.{index}.busy_seconds")
             for index in range(shards)
         ]
+        self._ctr_fg_batches = metrics.counter("shard.foreground_batches")
+        # Online-migration state: the cluster epoch advances at every
+        # ownership switch; a fenced shard rejects writes through leases
+        # older than its fence (see repro.shard.migration).
+        self.epoch = 0
+        self._fence_epochs = [0] * shards
+        self.migration: "MigrationController | None" = None
+        # Recovered shards (engine_factory wrapping pre-existing trees)
+        # may be ahead of a fresh router clock; no shard clock may ever
+        # lead the router's, so start the router at the fleet max.
+        self._clock.advance_to(max(shard.clock.now for shard in self.shards))
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -139,6 +155,10 @@ class ShardedEngine(KVEngine):
             completion = max(completion, end)
         self._clock.advance_to(completion)
         self._ctr_batches.inc()
+        if not kind.startswith("migrate"):
+            # Foreground-only counter: the migration throttle uses its
+            # growth to tell "traffic is flowing" from "cluster idle".
+            self._ctr_fg_batches.inc()
         self._ctr_batch_ops.inc(ops)
         self._hist_batch.observe(completion - issue)
         self._runtime.trace.emit(
@@ -183,9 +203,19 @@ class ShardedEngine(KVEngine):
         write (the differential harness caught exactly this).  With a
         single owner — the hash-partitioned common case — this is the
         plain one-shard put it always was.
+
+        During a migration's catch-up phase the controller returns the
+        migration target as an extra destination: the put double-writes
+        there so the staged copy never falls behind (set last, so it
+        wins over any historic-owner tombstone for the same shard).
         """
         owners = self.partitioner.owners(key)
-        if len(owners) == 1:
+        extra = (
+            self.migration.on_write(key, "put")
+            if self.migration is not None
+            else None
+        )
+        if len(owners) == 1 and extra is None:
             self._on_shard(owners[0], lambda s: s.put(key, value), "put")
             return
         groups: dict[int, Callable[[KVEngine], None]] = {
@@ -193,17 +223,26 @@ class ShardedEngine(KVEngine):
         }
         for index in owners[1:]:
             groups[index] = lambda s: s.delete(key)
+        if extra is not None:
+            groups[extra] = lambda s: s.put(key, value)
         for index in groups:
             self._shard_ops[index].inc()
         self._fan_out(groups, "put", ops=len(groups))
 
     def delete(self, key: bytes) -> None:
         """Tombstone every owner, current and historic, so a version
-        stranded on an old shard by a resize stays masked."""
-        groups = {
-            index: (lambda s: s.delete(key))
-            for index in self.partitioner.owners(key)
-        }
+        stranded on an old shard by a resize stays masked.  During
+        migration catch-up the tombstone also double-writes to the
+        migration target so its staged copy dies with the original."""
+        destinations = list(self.partitioner.owners(key))
+        extra = (
+            self.migration.on_write(key, "delete")
+            if self.migration is not None
+            else None
+        )
+        if extra is not None and extra not in destinations:
+            destinations.append(extra)
+        groups = {index: (lambda s: s.delete(key)) for index in destinations}
         for index in groups:
             self._shard_ops[index].inc()
         self._fan_out(groups, "delete", ops=len(groups))
@@ -230,7 +269,15 @@ class ShardedEngine(KVEngine):
         return owners[0]
 
     def apply_delta(self, key: bytes, delta: bytes) -> None:
-        """Partial update on the shard holding the base version."""
+        """Partial update on the shard holding the base version.
+
+        Deltas are never double-written during migration: the staged
+        target copy may lack the base version, and a dangling delta
+        resolves to nothing.  The controller instead marks the key dirty
+        so catch-up re-reads the *resolved* value from the source.
+        """
+        if self.migration is not None:
+            self.migration.on_write(key, "delta")
         index = self._delta_target(key)
         self._on_shard(index, lambda s: s.apply_delta(key, delta), "delta")
 
@@ -238,8 +285,7 @@ class ShardedEngine(KVEngine):
         for index in self.partitioner.owners(key):
             if self._on_shard(index, lambda s: s.get(key), "get") is not None:
                 return False
-        owner = self.partitioner.shard_for(key)
-        self._on_shard(owner, lambda s: s.put(key, value), "put")
+        self.put(key, value)
         return True
 
     # ------------------------------------------------------------------
@@ -315,12 +361,18 @@ class ShardedEngine(KVEngine):
         by_shard: dict[int, WriteBatch] = {}
         placed: dict[bytes, int] = {}
         ops = 0
+        migration = self.migration
         for op, key, value in batch:
             ops += 1
             if op == WriteBatch.DELETE:
                 owners = self.partitioner.owners(key)
                 placed[key] = owners[0]
                 routed = [(index, (op, key, value)) for index in owners]
+                extra = (
+                    migration.on_write(key, "delete") if migration else None
+                )
+                if extra is not None and extra not in owners:
+                    routed.append((extra, (op, key, value)))
             elif op == WriteBatch.PUT:
                 owners = self.partitioner.owners(key)
                 placed[key] = owners[0]
@@ -329,7 +381,14 @@ class ShardedEngine(KVEngine):
                     (index, (WriteBatch.DELETE, key, None))
                     for index in owners[1:]
                 ]
+                extra = migration.on_write(key, "put") if migration else None
+                if extra is not None:
+                    # Appended last so the catch-up double-write put wins
+                    # over any historic-owner tombstone on that shard.
+                    routed.append((extra, (op, key, value)))
             else:
+                if migration is not None:
+                    migration.on_write(key, "delta")
                 target = placed.get(key)
                 if target is None:
                     target = self._delta_target(key)
@@ -367,6 +426,14 @@ class ShardedEngine(KVEngine):
         sorted streams heap-merge.  A key yielded by several shards (a
         range resize left an old version behind) resolves to the
         version from the *newest* owner in the placement history.
+
+        While a migration is staging rows on its target (copy and
+        catch-up phases), the target's scan skips the staged range
+        entirely — a two-window sub-scan around the mask, not a
+        post-filter, so the per-shard ``limit`` still produces enough
+        rows *outside* the mask to honor the merged prefix guarantee.
+        A staged copy of a key deleted on the source mid-copy must
+        never resurrect in a scan.
         """
 
         def collect(shard: KVEngine) -> list[tuple[bytes, bytes]]:
@@ -374,6 +441,26 @@ class ShardedEngine(KVEngine):
 
         groups: dict[int, Callable[[KVEngine], list[tuple[bytes, bytes]]]]
         groups = {index: collect for index in range(len(self.shards))}
+        mask = (
+            self.migration.mask_range() if self.migration is not None else None
+        )
+        if mask is not None:
+            masked_shard, mask_lo, mask_hi = mask
+
+            def masked_collect(shard: KVEngine) -> list[tuple[bytes, bytes]]:
+                rows: list[tuple[bytes, bytes]] = []
+                below_hi = mask_lo if hi is None else min(hi, mask_lo)
+                if lo < below_hi:
+                    rows.extend(shard.scan(lo, below_hi, limit))
+                above_lo = max(lo, mask_hi)
+                remaining = None if limit is None else limit - len(rows)
+                if (remaining is None or remaining > 0) and (
+                    hi is None or above_lo < hi
+                ):
+                    rows.extend(shard.scan(above_lo, hi, remaining))
+                return rows
+
+            groups[masked_shard] = masked_collect
         results = self._fan_out(groups, "scan", ops=1)
         streams = [
             [(key, index, value) for key, value in rows]
@@ -404,25 +491,118 @@ class ShardedEngine(KVEngine):
             yield pending_key, resolve(pending_key, pending)
 
     # ------------------------------------------------------------------
+    # Online migration surface
+    # ------------------------------------------------------------------
+
+    def prune_placement_history(self) -> int:
+        """Drop superseded placement mappings that strand no live data.
+
+        Probes each historic owner with a one-row ranged scan over every
+        keyspace segment where its mapping disagrees with the current
+        one; an entry whose segments are all empty cannot change any
+        read and is dropped (see ``RangePartitioner.prune_history``).
+        Returns the number of entries pruned; a policy without history
+        (hash partitioning) prunes nothing.
+        """
+        prune = getattr(self.partitioner, "prune_history", None)
+        if prune is None:
+            return 0
+
+        def stranded(index: int, lo: bytes, hi: bytes | None) -> bool:
+            return bool(
+                self._on_shard(
+                    index, lambda s: list(s.scan(lo, hi, 1)), "migrate_prune"
+                )
+            )
+
+        return prune(stranded)
+
+    def lease(self, key: bytes) -> "ShardLease":
+        """An epoch-stamped ownership claim for ``key``'s current shard.
+
+        Writes through the lease raise
+        :class:`~repro.errors.StaleOwnerError` once a migration switch
+        fences the shard — the cached-routing-table client model.
+        """
+        from repro.shard.migration import ShardLease
+
+        return ShardLease(self, self.partitioner.shard_for(key), self.epoch)
+
+    def handle_migration_op(
+        self, action: str, key: bytes = b"", budget: int = 1
+    ) -> str:
+        """Drive the attached migration controller (fuzzer surface).
+
+        ``split``/``merge`` plan a migration of the shard owning ``key``
+        when the controller is idle (an unplannable or conflicting
+        request is a no-op — the fuzzer explores schedules, it does not
+        demand them); any action then steps the controller up to
+        ``budget`` times.  Returns the last step tag.
+        """
+        from repro.errors import MigrationError
+        from repro.shard.migration import plan_merge, plan_split
+
+        controller = self.migration
+        if controller is None:
+            return "no-controller"
+        if action in ("split", "merge") and not controller.active:
+            planner = plan_split if action == "split" else plan_merge
+            plan = planner(self, self.partitioner.shard_for(key))
+            if plan is not None:
+                try:
+                    controller.start(plan)
+                except MigrationError:
+                    pass
+        tag = "idle"
+        for _ in range(max(1, budget)):
+            if not controller.active:
+                break
+            tag = controller.step()
+        return tag
+
+    # ------------------------------------------------------------------
     # Lifecycle and reporting
     # ------------------------------------------------------------------
 
-    def flush(self) -> None:
+    def _fanout_resilient(self, op: str, fn: Callable[[KVEngine], None]) -> None:
+        """Run ``fn`` on *every* shard even when some raise.
+
+        A flush/close that stops at the first failing shard would leave
+        the healthy remainder un-flushed (durability silently lost) or
+        un-closed (resources leaked).  Per-shard failures are collected
+        and re-raised together as :class:`ShardFanoutError`; a simulated
+        :class:`~repro.errors.CrashPoint` still propagates immediately —
+        a dead process visits nothing.
+        """
+        errors: dict[int, Exception] = {}
+
+        def guarded(index: int) -> Callable[[KVEngine], None]:
+            def run(shard: KVEngine) -> None:
+                try:
+                    fn(shard)
+                except Exception as error:
+                    errors[index] = error
+
+            return run
+
         self._fan_out(
-            {i: (lambda s: s.flush()) for i in range(len(self.shards))},
-            "flush",
+            {i: guarded(i) for i in range(len(self.shards))},
+            op,
             ops=len(self.shards),
         )
+        if errors:
+            raise ShardFanoutError(op, errors)
+
+    def flush(self) -> None:
+        self._fanout_resilient("flush", lambda s: s.flush())
 
     def close(self) -> None:
         if self._closed:
             return
-        self._fan_out(
-            {i: (lambda s: s.close()) for i in range(len(self.shards))},
-            "close",
-            ops=len(self.shards),
-        )
-        self._closed = True
+        try:
+            self._fanout_resilient("close", lambda s: s.close())
+        finally:
+            self._closed = True
 
     def metrics(self) -> dict[str, Any]:
         """Aggregate router metrics plus each shard's, prefixed

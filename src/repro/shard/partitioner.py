@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from bisect import bisect_right
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -178,6 +178,70 @@ class RangePartitioner(Partitioner):
             if owner not in seen:
                 seen.append(owner)
         return tuple(seen)
+
+    @property
+    def history_depth(self) -> int:
+        """How many superseded mappings :meth:`owners` still consults."""
+        return len(self._history)
+
+    def _segments_vs(
+        self, boundaries: Sequence[bytes]
+    ) -> list[tuple[bytes, bytes | None, int]]:
+        """Where a historic mapping disagrees with the current one.
+
+        Returns ``(lo, hi, historic_owner)`` triples covering every
+        keyspace segment whose owner under ``boundaries`` differs from
+        the current owner (``hi is None`` = unbounded above).  The cut
+        points are the union of both boundary sets, so within each
+        segment both mappings are constant.
+        """
+        cuts = sorted(set(self._boundaries) | set(boundaries))
+        edges: list[tuple[bytes, bytes | None]] = []
+        lo: bytes = b""
+        for cut in cuts:
+            edges.append((lo, cut))
+            lo = cut
+        edges.append((lo, None))
+        return [
+            (seg_lo, seg_hi, bisect_right(list(boundaries), seg_lo))
+            for seg_lo, seg_hi in edges
+            if bisect_right(list(boundaries), seg_lo)
+            != bisect_right(self._boundaries, seg_lo)
+        ]
+
+    def prune_history(
+        self, stranded: Callable[[int, bytes, bytes | None], bool]
+    ) -> int:
+        """Drop superseded mappings that no longer own any live version.
+
+        Without pruning every resize appends history forever and every
+        read/delete fans out to ever more shards.  A historic mapping is
+        only *needed* while some shard it names still physically holds a
+        live version the current mapping would not find — exactly what a
+        migration's retirement phase eliminates.  ``stranded(shard, lo,
+        hi)`` must report whether ``shard`` holds any live key in
+        ``[lo, hi)`` (``hi is None`` = unbounded); the sharded engine
+        passes a per-shard ranged ``scan(..., limit=1)`` probe.
+
+        Each entry is checked independently: an entry whose differing
+        segments hold no live rows contributes no reachable version to
+        any read (the fleet keeps at most one live version per key), so
+        dropping it can never change an answer.  Returns the number of
+        entries dropped.
+        """
+        kept: list[list[bytes]] = []
+        dropped = 0
+        for boundaries in self._history:
+            needed = any(
+                stranded(owner, seg_lo, seg_hi)
+                for seg_lo, seg_hi, owner in self._segments_vs(boundaries)
+            )
+            if needed:
+                kept.append(boundaries)
+            else:
+                dropped += 1
+        self._history = kept
+        return dropped
 
     def describe(self) -> str:
         suffix = f", resized x{len(self._history)}" if self._history else ""

@@ -181,6 +181,13 @@ def _execute(
         return list(engine.scan(op.key, op.hi, op.limit))
     elif op.kind == "merge_work":
         _drive_merge(engine, op.budget)
+    elif op.kind == "migrate":
+        # Only engines with an online-migration surface honour this; on
+        # everything else it is a no-op, exactly like the oracle treats
+        # it — the op moves data between shards, never changes answers.
+        handler = getattr(engine, "handle_migration_op", None)
+        if handler is not None:
+            handler(op.action, op.key, op.budget)
     # "crash" markers are the fault composer's business; skip here.
     return None
 
@@ -278,6 +285,34 @@ def default_fuzz_configs(
             count = max(2, shards)
             configs.append(
                 FuzzConfig(f"sharded-{count}", builder(name, shards=count))
+            )
+            # Range-partitioned with a live migration controller: the
+            # same trace must stay oracle-correct while ``migrate`` ops
+            # split and merge shards underneath it.
+            boundaries = tuple(
+                b"key%06d" % (200 * index // count)
+                for index in range(1, count)
+            )
+
+            def build_migrating(
+                count: int = count, boundaries: tuple[bytes, ...] = boundaries
+            ) -> KVEngine:
+                from repro.shard.engine import ShardedEngine
+                from repro.shard.migration import attach_migration
+                from repro.shard.partitioner import RangePartitioner
+
+                from repro.engines import blsm_options
+
+                engine = ShardedEngine(
+                    blsm_options(base),
+                    shards=count,
+                    partitioner=RangePartitioner(list(boundaries)),
+                )
+                attach_migration(engine, chunk_keys=16)
+                return engine
+
+            configs.append(
+                FuzzConfig(f"sharded-range-{count}", build_migrating)
             )
         else:
             configs.append(FuzzConfig(name, builder(name)))

@@ -83,7 +83,11 @@ def _config_hints(label: str, shards: int) -> dict[str, object]:
     the fuzz loop around it.
     """
     if label.startswith("sharded-"):
-        return {"engines": ["sharded"], "shards": int(label.split("-", 1)[1])}
+        # Labels are "sharded-<count>" or "sharded-range-<count>"; the
+        # count is always the last dash segment.  Replay rebuilds both
+        # sharded configs (hash and migrating range), which covers the
+        # failing one either way.
+        return {"engines": ["sharded"], "shards": int(label.rsplit("-", 1)[1])}
     if label == "blsm-faulty":
         return {"engines": ["blsm"]}
     return {"engines": [label], "shards": shards}
@@ -177,7 +181,15 @@ def fuzz(
                 )
             break
         round_seed = seed + round_index
-        trace = generate_trace(ops, seed=round_seed)
+        # Under the full fault schedule the trace also drives online
+        # migrations (split/merge/step ops) — honoured by the migrating
+        # sharded config, no-ops everywhere else, so one trace still
+        # replays across the whole matrix.
+        trace = generate_trace(
+            ops,
+            seed=round_seed,
+            migrate_fraction=0.015 if faults == "all" else 0.0,
+        )
         if progress is not None:
             progress(
                 f"round {round_index}: {len(trace)} ops (seed {round_seed}) "

@@ -172,7 +172,13 @@ def check_sharded_invariants(engine) -> None:
     * router/placement agreement: every key physically live on a shard
       names that shard in the partitioner's placement history
       (``owners``) — a key outside its owner set is unreachable to
-      reads and proof of a routing bug.
+      reads and proof of a routing bug;
+    * mid-migration coherence: an in-flight migration's plan names
+      adjacent, distinct shards and a non-empty donated range, its
+      dirty set stays inside that range, a switched-but-unretired
+      source is epoch-fenced, and staged rows on the migration target
+      are confined to the donated range (they are exempt from the
+      owner-set rule — the scan mask hides them from readers).
 
     The per-shard scans the check performs advance shard clocks; the
     router clock is re-synchronized afterwards so the engine remains
@@ -188,11 +194,39 @@ def check_sharded_invariants(engine) -> None:
             f"shard {index} clock ({shard.clock.now}) is ahead of the "
             f"router ({engine.clock.now})"
         )
+    controller = getattr(engine, "migration", None)
+    mask = controller.mask_range() if controller is not None else None
+    if controller is not None and controller.active:
+        plan = controller.plan
+        assert plan is not None, "active migration without a plan"
+        nshards = len(engine.shards)
+        assert 0 <= plan.source < nshards and 0 <= plan.target < nshards
+        assert abs(plan.source - plan.target) == 1, (
+            f"migration {plan.source}->{plan.target} is not between "
+            "neighbours"
+        )
+        assert plan.lo < plan.hi, "empty donated range"
+        for key in controller.dirty_keys():
+            assert plan.lo <= key < plan.hi, (
+                f"dirty key {key!r} outside the donated range "
+                f"[{plan.lo!r}, {plan.hi!r})"
+            )
+        if controller.state == "retire":
+            assert engine._fence_epochs[plan.source] == engine.epoch, (
+                f"switched source {plan.source} is not fenced at the "
+                f"current epoch {engine.epoch}"
+            )
     for index, shard in enumerate(engine.shards):
         tree = getattr(shard, "tree", None)
         if isinstance(tree, BLSM):
             check_blsm_invariants(tree)
         for key, _ in shard.scan(b""):
+            if (
+                mask is not None
+                and index == mask[0]
+                and mask[1] <= key < mask[2]
+            ):
+                continue  # staged migration rows, hidden by the scan mask
             owners = partitioner.owners(key)
             assert index in owners, (
                 f"shard {index} holds {key!r} but the placement history "

@@ -25,6 +25,14 @@ Operation kinds (:data:`OP_KINDS`):
 ``crash``
     A crash marker, honoured only by the fault composer (crash the
     substrate here, recover, verify, continue); other executors skip it.
+``migrate``
+    An online-migration driver op, honoured only by engines exposing
+    ``handle_migration_op`` (the sharded engine with an attached
+    controller): ``split``/``merge`` plan a live boundary move of the
+    shard owning ``key``, ``step`` just advances an in-flight migration
+    by ``budget`` bounded steps.  Logically a no-op — the oracle is
+    untouched — which is the point: every read after it must still
+    agree with the oracle mid-migration.
 
 Serialization is a single JSON document.  Keys and values are bytes;
 they are stored as Latin-1 strings (a bijection between byte values
@@ -50,6 +58,7 @@ OP_KINDS = (
     "batch",
     "merge_work",
     "crash",
+    "migrate",
 )
 
 #: The trace file format tag; bump on incompatible changes.
@@ -81,6 +90,7 @@ class TraceOp:
     keys: tuple[bytes, ...] = ()
     mutations: tuple[tuple[str, bytes, bytes | None], ...] = ()
     budget: int = 0
+    action: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in OP_KINDS:
@@ -142,6 +152,16 @@ class TraceOp:
         """A crash marker (crash, recover, verify, continue)."""
         return cls("crash")
 
+    @classmethod
+    def migrate(cls, action: str, key: bytes = b"", budget: int = 1) -> "TraceOp":
+        """An online-migration driver op (sharded engines only)."""
+        if action not in ("split", "merge", "step"):
+            raise ValueError(
+                f"unknown migrate action {action!r}; "
+                "expected split, merge or step"
+            )
+        return cls("migrate", key=key, budget=budget, action=action)
+
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -173,6 +193,13 @@ class TraceOp:
             }
         if self.kind == "merge_work":
             return {"op": "merge_work", "budget": self.budget}
+        if self.kind == "migrate":
+            return {
+                "op": "migrate",
+                "action": self.action,
+                "key": _encode(self.key),
+                "budget": self.budget,
+            }
         return {"op": "crash"}
 
     @classmethod
@@ -201,6 +228,12 @@ class TraceOp:
             )
         if kind == "merge_work":
             return cls.merge_work(int(data.get("budget", 16 * 1024)))
+        if kind == "migrate":
+            return cls.migrate(
+                data["action"],
+                _decode(data.get("key", "")),
+                int(data.get("budget", 1)),
+            )
         if kind == "crash":
             return cls.crash()
         raise ValueError(f"unknown trace op {kind!r}")
@@ -281,6 +314,7 @@ def generate_trace(
     multi_get_fraction: float = 0.05,
     merge_work_fraction: float = 0.03,
     crash_fraction: float = 0.0,
+    migrate_fraction: float = 0.0,
     max_batch_ops: int = 8,
 ) -> Trace:
     """Generate a seeded random trace; same arguments, same trace.
@@ -323,6 +357,7 @@ def generate_trace(
         + multi_get_fraction
         + merge_work_fraction
         + crash_fraction
+        + migrate_fraction
     )
     if special >= 0.5:
         raise ValueError("special-op fractions must leave room for point ops")
@@ -357,6 +392,23 @@ def generate_trace(
         roll -= merge_work_fraction
         if roll < crash_fraction:
             out.append(TraceOp.crash())
+            continue
+        roll -= crash_fraction
+        if roll < migrate_fraction:
+            # Mostly steps (advance whatever is in flight), with enough
+            # split/merge plans to start migrations at varied points.
+            action_roll = rng.random()
+            if action_roll < 0.3:
+                action = "split"
+            elif action_roll < 0.5:
+                action = "merge"
+            else:
+                action = "step"
+            out.append(
+                TraceOp.migrate(
+                    action, random_key(), budget=rng.randrange(1, 6)
+                )
+            )
             continue
         # Point operations fill the remaining probability mass.
         point = rng.random()
