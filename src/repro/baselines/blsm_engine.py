@@ -4,10 +4,13 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
-from repro.baselines.interface import KVEngine
+from repro.baselines.interface import KVEngine, WriteBatch
 from repro.core.options import BLSMOptions
 from repro.core.tree import BLSM
+from repro.core.versions import TreeSnapshot
 from repro.sim.clock import VirtualClock
+from repro.storage.group_commit import CommitTicket
+from repro.storage.logical_log import DurabilityMode
 
 
 class BLSMEngine(KVEngine):
@@ -49,6 +52,26 @@ class BLSMEngine(KVEngine):
 
     def apply_delta(self, key: bytes, delta: bytes) -> None:
         self.tree.apply_delta(key, delta)
+
+    def apply_batch(
+        self, batch: "WriteBatch | Any"
+    ) -> None:
+        # Under GROUP durability a batch is a commit unit: route it
+        # through the group-commit queue so batched drivers (the
+        # differential fuzzer's batched configs) exercise the shared
+        # force path rather than bypassing it.
+        if self.tree.stasis.logical_log.mode is DurabilityMode.GROUP:
+            self.tree.write_batch(batch)
+        else:
+            super().apply_batch(batch)
+
+    def commit_batch(
+        self, batch: "WriteBatch", session: int = 0, wait: bool = True
+    ) -> CommitTicket:
+        return self.tree.write_batch(batch, session=session, wait=wait)
+
+    def snapshot(self) -> TreeSnapshot:
+        return self.tree.snapshot()
 
     def flush(self) -> None:
         self.tree.flush_log()

@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 from repro.obs.runtime import EngineRuntime
 from repro.obs.trace import TraceEvent
 from repro.sim.clock import VirtualClock
+from repro.storage.group_commit import CommitTicket
 
 #: Keys every engine's :meth:`KVEngine.io_summary` must provide.  The
 #: schema is the paper's benchmark vocabulary: seek counts and byte
@@ -146,6 +147,64 @@ class WriteBatch:
         return f"WriteBatch({len(self._ops)} ops)"
 
 
+class MaterializedSnapshot:
+    """A point-in-time read view materialized from one full scan.
+
+    The fallback behind :meth:`KVEngine.snapshot` for engines without
+    immutable versioned components: the constructor receives the
+    engine's full ordered contents (charged as the scan that produced
+    them), after which reads are free — the data already left the
+    engine.  Versioned engines return pinned component sets instead,
+    which cost O(1) to take and charge reads normally.
+    """
+
+    __slots__ = ("engine", "_rows", "_index", "_closed")
+
+    def __init__(
+        self, engine: str, rows: Sequence[tuple[bytes, bytes]]
+    ) -> None:
+        self.engine = engine
+        self._rows = sorted(rows)
+        self._index = dict(self._rows)
+        self._closed = False
+
+    def get(self, key: bytes) -> bytes | None:
+        """Point lookup against the snapshot."""
+        return self._index.get(key)
+
+    def multi_get(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Batched point lookups; results align with ``keys``."""
+        return [self._index.get(key) for key in keys]
+
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered range scan over the snapshot contents."""
+        emitted = 0
+        for key, value in self._rows:
+            if key < lo:
+                continue
+            if hi is not None and key >= hi:
+                return
+            if limit is not None and emitted >= limit:
+                return
+            yield key, value
+            emitted += 1
+
+    def close(self) -> None:
+        """Release the snapshot (idempotent)."""
+        self._closed = True
+
+    def __enter__(self) -> "MaterializedSnapshot":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"MaterializedSnapshot({self.engine}, {len(self._rows)} rows)"
+
+
 class KVEngine(ABC):
     """A key-value storage engine over simulated devices."""
 
@@ -256,6 +315,49 @@ class KVEngine(ABC):
                 self.apply_delta(key, value)
             else:
                 raise ValueError(f"unknown batch op {op!r}")
+
+    def commit_batch(
+        self, batch: "WriteBatch", session: int = 0, wait: bool = True
+    ) -> CommitTicket:
+        """Apply a batch and make it durable; return its commit ticket.
+
+        The session-layer write surface: where :meth:`apply_batch` only
+        promises the writes are *applied*, ``commit_batch`` promises
+        they are *durable* at ``ticket.durable_at``.  Engines with
+        leader-based group commit (the bLSM trees under
+        ``DurabilityMode.GROUP``) override this so concurrent sessions
+        share one log force; with ``wait=False`` they return an
+        unresolved ticket the caller collects later.  The default
+        applies the batch and flushes — one synchronous force, group
+        size 1 — so every engine honours the contract.
+        """
+        enqueued = self.clock.now
+        self.apply_batch(batch)
+        self.flush()
+        now = self.clock.now
+        return CommitTicket(
+            session=session,
+            first_seqno=0,
+            last_seqno=0,
+            ops=len(batch),
+            enqueued_at=enqueued,
+            leader=True,
+            group_size=1,
+            durable_at=now,
+        )
+
+    def snapshot(self) -> "MaterializedSnapshot":
+        """A consistent point-in-time read view of the engine.
+
+        The returned object exposes ``get``/``multi_get``/``scan`` and
+        is a context manager; later writes to the engine are invisible
+        to it.  The default materializes the full ordered contents
+        through one scan (O(n), charged as that scan); engines with
+        immutable versioned components (the bLSM trees) override this
+        with a pinned component set that costs O(C0) to take and reads
+        through the normal (charged) read path.
+        """
+        return MaterializedSnapshot(self.name, list(self.scan(b"")))
 
     def read_modify_write(
         self, key: bytes, update: Callable[[bytes | None], bytes]

@@ -432,6 +432,130 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    """Multi-session open-loop bench: group commit vs per-write syncing.
+
+    Drives N concurrent sessions against one engine in ``group``
+    durability (writes commit through the leader-based queue with
+    ``wait=False``), then the identical offered load against ``sync``
+    (every write forces).  Reports queueing-delay percentiles and their
+    timeline, ack latency, forces per commit/op, and the group-size
+    histogram.  ``--json`` writes the machine-readable result (the
+    ``BENCH_8.json`` format); ``--assert-force-ratio`` /
+    ``--assert-forces-per-commit`` / ``--assert-queueing-p99`` turn the
+    run into the CI gate.
+    """
+    import json as _json
+
+    from repro.ycsb import run_sessions
+
+    disk = _disk(args.disk)
+    spec = WorkloadSpec(
+        record_count=args.records,
+        operation_count=args.ops,
+        read_proportion=args.read,
+        blind_write_proportion=1.0 - args.read,
+        request_distribution="uniform",
+        value_bytes=args.value_bytes,
+    )
+
+    def measure(durability: str):
+        engine = _engine(
+            args.engine,
+            disk,
+            args.c0_bytes,
+            args.cache_pages,
+            durability=durability,
+            **_sharding(args, spec),
+        )
+        load_phase(engine, spec, seed=args.seed)
+        result = run_sessions(
+            engine,
+            spec,
+            args.rate,
+            sessions=args.sessions,
+            arrival=args.arrival,
+            seed=args.seed + 1,
+        )
+        engine.close()
+        return result
+
+    group = measure("group")
+    sync = measure("sync")
+    ratio = (
+        sync.forces_per_op / group.forces_per_op
+        if group.forces_per_op > 0
+        else float("inf")
+    )
+    print(
+        f"sessions bench: engine={args.engine} sessions={args.sessions} "
+        f"rate={args.rate:g}/s arrival={args.arrival} ops={args.ops} "
+        f"({args.read:.0%} reads) disk={disk.name}"
+    )
+    for label, r in (("group", group), ("sync ", sync)):
+        print(
+            f"  {label}: forces/commit={r.forces_per_commit:.3f} "
+            f"forces/op={r.forces_per_op:.3f} "
+            f"queue p99={r.queueing.percentile(99.0) * 1e3:.3f} ms "
+            f"p99.9={r.queueing.percentile(99.9) * 1e3:.3f} ms "
+            f"ack p99={r.ack_latency.percentile(99.0) * 1e3:.3f} ms "
+            f"achieved={r.achieved_rate:,.0f}/s"
+        )
+    sizes = sorted(group.group_sizes.items())
+    histogram = " ".join(f"{size}x{count}" for size, count in sizes)
+    print(f"  group sizes: {histogram}")
+    print(f"  force ratio (sync/group): {ratio:.2f}x")
+    if args.json:
+        payload = {
+            "bench": "sessions-group-commit",
+            "config": {
+                "engine": args.engine,
+                "disk": disk.name,
+                "records": args.records,
+                "ops": args.ops,
+                "value_bytes": args.value_bytes,
+                "read_proportion": args.read,
+                "sessions": args.sessions,
+                "offered_rate": args.rate,
+                "arrival": args.arrival,
+                "c0_bytes": args.c0_bytes,
+                "cache_pages": args.cache_pages,
+                "seed": args.seed,
+            },
+            "group": group.summary(),
+            "sync": sync.summary(),
+            "force_ratio": ratio,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"  wrote {args.json}")
+    status = 0
+    if args.assert_force_ratio > 0 and ratio < args.assert_force_ratio:
+        print(
+            f"FAIL: force ratio {ratio:.2f}x below required "
+            f"{args.assert_force_ratio:.2f}x"
+        )
+        status = 1
+    if (
+        args.assert_forces_per_commit > 0
+        and group.forces_per_commit > args.assert_forces_per_commit
+    ):
+        print(
+            f"FAIL: group forces/commit {group.forces_per_commit:.3f} "
+            f"exceeds bound {args.assert_forces_per_commit:.3f}"
+        )
+        status = 1
+    p99 = group.queueing.percentile(99.0)
+    if args.assert_queueing_p99 > 0 and p99 > args.assert_queueing_p99:
+        print(
+            f"FAIL: group queueing p99 {p99 * 1e3:.3f} ms exceeds bound "
+            f"{args.assert_queueing_p99 * 1e3:.3f} ms"
+        )
+        status = 1
+    return status
+
+
 def _bench_policies(args: argparse.Namespace) -> int:
     """The compaction design-space sweep (``repro bench --policy ...``).
 
@@ -1047,6 +1171,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress lines"
     )
     migrate.set_defaults(fn=_cmd_migrate)
+
+    sessions = sub.add_parser(
+        "sessions",
+        help="multi-session open-loop bench: group commit vs per-write sync",
+    )
+    sessions.add_argument("--engine", choices=ENGINES, default="blsm")
+    sessions.add_argument("--disk", choices=DISKS, default="hdd")
+    sessions.add_argument(
+        "--sessions", type=int, default=8, help="concurrent open-loop sessions"
+    )
+    sessions.add_argument(
+        "--rate", type=float, default=4000.0,
+        help="total offered rate, ops per virtual second",
+    )
+    sessions.add_argument(
+        "--arrival", choices=("uniform", "poisson", "diurnal"),
+        default="poisson",
+    )
+    sessions.add_argument("--records", type=int, default=400)
+    sessions.add_argument("--ops", type=int, default=1200)
+    sessions.add_argument("--value-bytes", type=int, default=100)
+    sessions.add_argument(
+        "--read", type=float, default=0.25,
+        help="read proportion (rest are blind writes)",
+    )
+    sessions.add_argument("--c0-bytes", type=int, default=256 * 1024)
+    sessions.add_argument("--cache-pages", type=int, default=64)
+    sessions.add_argument("--shards", type=int, default=4)
+    sessions.add_argument(
+        "--partitioner", choices=PARTITIONERS, default="hash"
+    )
+    sessions.add_argument("--seed", type=int, default=0)
+    sessions.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable result to PATH",
+    )
+    sessions.add_argument(
+        "--assert-force-ratio", type=float, default=0.0, metavar="R",
+        help="fail unless sync forces/op >= R x group forces/op",
+    )
+    sessions.add_argument(
+        "--assert-forces-per-commit", type=float, default=0.0, metavar="F",
+        help="fail if the group run exceeds F forces per commit",
+    )
+    sessions.add_argument(
+        "--assert-queueing-p99", type=float, default=0.0, metavar="SECONDS",
+        help="fail if the group run's queueing-delay p99 exceeds SECONDS",
+    )
+    sessions.set_defaults(fn=_cmd_sessions)
 
     fuzz = sub.add_parser(
         "fuzz",

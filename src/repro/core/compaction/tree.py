@@ -27,7 +27,7 @@ Differences from the bLSM tree, all policy-neutral:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.compaction.manager import LevelManager
 from repro.core.compaction.merge import PolicyMergeJob
@@ -35,11 +35,12 @@ from repro.core.compaction.policy import CompactionPolicy, MergePlan, make_polic
 from repro.core.options import BLSMOptions
 from repro.core.progress import outprogress
 from repro.core.scheduler import make_scheduler
+from repro.core.versions import TreeSnapshot, VersionSet, ram_source
 from repro.errors import EngineClosedError
 from repro.memtable.memtable import MemTable
 from repro.records import Record, resolve
 from repro.sstable.builder import SSTableBuilder
-from repro.sstable.iterator import kway_merge
+from repro.storage.group_commit import CommitTicket
 from repro.storage.recovery import recover as storage_recover
 from repro.storage.region import Extent
 from repro.storage.stasis import Stasis
@@ -114,6 +115,7 @@ class CompactionTree:
         """Bind instrumentation under the same metric names as the bLSM
         tree, so dashboards and trace consumers work across policies."""
         self.runtime = self.stasis.runtime
+        self.versions = VersionSet(self.runtime)
         metrics = self.runtime.metrics
         self._ctr_rotations = metrics.counter("memtable.rotations")
         self._ctr_memtable_full = metrics.counter("memtable.full_events")
@@ -174,6 +176,50 @@ class CompactionTree:
         self.put(key, new_value)
         return new_value
 
+    def write_batch(
+        self,
+        ops: Iterable[tuple[str, bytes, bytes | None]],
+        session: int = 0,
+        wait: bool = True,
+    ) -> CommitTicket:
+        """Apply a batch and commit it through Stasis group commit.
+
+        Same contract as :meth:`repro.core.tree.BLSM.write_batch`: the
+        records land in the memtable and the staged log; the returned
+        ticket resolves when a leader's force covers the batch.
+        """
+        self._check_open()
+        first = self._next_seqno
+        count = 0
+        for op, key, value in ops:
+            if op == "put":
+                assert value is not None
+                self.put(key, value)
+            elif op == "delete":
+                self.delete(key)
+            elif op == "delta":
+                assert value is not None
+                self.apply_delta(key, value)
+            else:
+                raise ValueError(f"unknown batch op {op!r}")
+            count += 1
+        if count == 0:
+            now = self.stasis.clock.now
+            return CommitTicket(
+                session=session,
+                first_seqno=first,
+                last_seqno=first - 1,
+                ops=0,
+                enqueued_at=now,
+                leader=True,
+                group_size=1,
+                durable_at=now,
+                durable_lsn=self.stasis.logical_log.durable_seqno,
+            )
+        return self.stasis.group_commit.commit(
+            first, self._next_seqno - 1, count, session=session, wait=wait
+        )
+
     # ------------------------------------------------------------------
     # Public read API
     # ------------------------------------------------------------------
@@ -201,40 +247,43 @@ class CompactionTree:
         hi: bytes | None = None,
         limit: int | None = None,
     ) -> Iterator[tuple[bytes, bytes]]:
-        """Range scan across every run, epoch-validated like the bLSM
-        tree: a merge installing underneath a paused scan triggers a
-        transparent restart from the cursor against the new run set."""
+        """Range scan across every run, against a pinned snapshot.
+
+        A merge installing (or the memtable flushing) underneath a
+        paused scan is invisible: the snapshot pinned the run set at
+        scan start, so there is no restart and no row is observed twice
+        — same semantics as :meth:`repro.core.tree.BLSM.scan`.
+        """
         self._check_open()
-        cursor = lo
-        emitted = 0
-        while True:
-            epoch = self._merge_epoch
-            restart = False
-            sources: list[Iterator[Record]] = [self._memtable.scan(cursor, hi)]
-            sources.extend(
-                table.scan(cursor, hi) for table in self._manager.iter_tables()
-            )
-            for group in kway_merge(sources):
-                value = resolve(group)
-                if value is None:
-                    continue
-                yield group[0].key, value
-                cursor = group[0].key + b"\x00"
-                emitted += 1
-                if limit is not None and emitted >= limit:
-                    return
-                if self._merge_epoch != epoch:
-                    restart = True  # runs changed while suspended
-                    break
-            if not restart:
-                return
+        with self.snapshot() as snap:
+            yield from snap.scan(lo, hi, limit)
+
+    def snapshot(self) -> TreeSnapshot:
+        """Pin a consistent point-in-time read view of the tree.
+
+        The memtable is copied; every on-disk run is pinned in the
+        :class:`VersionSet` so merge installs defer their frees past
+        the snapshot's lifetime.
+        """
+        self._check_open()
+        return TreeSnapshot(
+            self.versions,
+            [ram_source(self._memtable)],
+            list(self._manager.iter_tables()),
+            engine=self._policy.name,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def flush_log(self) -> None:
-        """Force the logical log (durability barrier)."""
+        """Force the logical log (durability barrier).
+
+        Pending group-commit tickets resolve first — a flush must not
+        leave a session's acknowledged-later batch behind its barrier.
+        """
+        self.stasis.group_commit.drain()
         self.stasis.logical_log.force()
 
     def drain(self) -> None:
@@ -441,9 +490,9 @@ class CompactionTree:
             output_bytes=job.output.nbytes if job.output is not None else 0,
         )
         self.stasis.commit_manifest(self._manifest())
-        self._merge_epoch += 1
+        self._merge_epoch += 1  # historical: scans now pin snapshots
         for table in job.inputs:
-            table.free()
+            self.versions.retire(table)
 
     # ------------------------------------------------------------------
     # Write internals

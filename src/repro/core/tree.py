@@ -25,7 +25,7 @@ measures.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.components import (
     component_extents,
@@ -36,12 +36,13 @@ from repro.core.merge import FrozenSource, MergeProcess, SnowshovelSource  # noq
 from repro.core.options import BLSMOptions
 from repro.core.progress import outprogress
 from repro.core.scheduler import make_scheduler
+from repro.core.versions import TreeSnapshot, VersionSet, ram_source
 from repro.errors import EngineClosedError
 from repro.memtable.memtable import MemTable
 from repro.records import Record, resolve
 from repro.sim.clock import Timeline
-from repro.sstable.iterator import kway_merge
 from repro.sstable.reader import SSTable
+from repro.storage.group_commit import CommitTicket
 from repro.storage.recovery import recover as storage_recover
 from repro.storage.region import Extent
 from repro.storage.stasis import Stasis
@@ -140,6 +141,7 @@ class BLSM:
     def _init_obs(self) -> None:
         """Bind this tree's instrumentation to the runtime's registry."""
         self.runtime = self.stasis.runtime
+        self.versions = VersionSet(self.runtime)
         metrics = self.runtime.metrics
         self._ctr_rotations = metrics.counter("memtable.rotations")
         self._ctr_memtable_full = metrics.counter("memtable.full_events")
@@ -210,6 +212,56 @@ class BLSM:
         self.put(key, new_value)
         return new_value
 
+    def write_batch(
+        self,
+        ops: Iterable[tuple[str, bytes, bytes | None]],
+        session: int = 0,
+        wait: bool = True,
+    ) -> CommitTicket:
+        """Apply a batch of mutations and commit them as one ticket.
+
+        The batch's records are applied to C0 and staged in the logical
+        log, then committed through the Stasis group-commit queue: under
+        :class:`~repro.storage.logical_log.DurabilityMode.GROUP` the
+        ticket resolves when a leader's force covers the batch (several
+        sessions' batches share one force); under SYNC/ASYNC each write
+        forced per its mode already, so the ticket is trivially durable.
+        With ``wait=False`` the ticket is returned unresolved and the
+        caller acknowledges the commit at ``ticket.durable_at`` once a
+        later force (or a drain) resolves it.
+        """
+        self._check_open()
+        first = self._next_seqno
+        count = 0
+        for op, key, value in ops:
+            if op == "put":
+                assert value is not None
+                self.put(key, value)
+            elif op == "delete":
+                self.delete(key)
+            elif op == "delta":
+                assert value is not None
+                self.apply_delta(key, value)
+            else:
+                raise ValueError(f"unknown batch op {op!r}")
+            count += 1
+        if count == 0:
+            now = self.stasis.clock.now
+            return CommitTicket(
+                session=session,
+                first_seqno=first,
+                last_seqno=first - 1,
+                ops=0,
+                enqueued_at=now,
+                leader=True,
+                group_size=1,
+                durable_at=now,
+                durable_lsn=self.stasis.logical_log.durable_seqno,
+            )
+        return self.stasis.group_commit.commit(
+            first, self._next_seqno - 1, count, session=session, wait=wait
+        )
+
     # ------------------------------------------------------------------
     # Public read API
     # ------------------------------------------------------------------
@@ -263,55 +315,52 @@ class BLSM:
     ) -> Iterator[tuple[bytes, bytes]]:
         """Range scan: merge every component (Section 3.3's 2-3 seeks).
 
-        Scans interleave with merges: a merge completing while the
-        caller holds a paused scan deletes the components the scan was
-        reading.  As in the paper (Section 4.4.1's logical timestamps on
-        tree roots), the scan validates the merge epoch after every row
-        and transparently restarts from its cursor against the current
-        component set when a merge committed underneath it.
+        The scan runs against a pinned :class:`TreeSnapshot`, so merges
+        completing (or the memtable switching) while the caller holds
+        the scan paused are invisible: no restart, no stall, no row ever
+        observed twice.  The epoch-restart loop this replaces re-walked
+        the component set from the cursor at every merge install —
+        Section 4.4.1's logical-timestamp validation — which blocked
+        paused scans behind merge progress.
         """
         self._check_open()
-        cursor = lo
-        emitted = 0
-        while True:
-            epoch = self._merge_epoch
-            restart = False
-            for group in kway_merge(self._scan_sources(cursor, hi)):
-                value = resolve(group)
-                if value is None:
-                    continue
-                yield group[0].key, value
-                cursor = group[0].key + b"\x00"
-                emitted += 1
-                if limit is not None and emitted >= limit:
-                    return
-                if self._merge_epoch != epoch:
-                    restart = True  # components changed while suspended
-                    break
-            if not restart:
-                return
+        with self.snapshot() as snap:
+            yield from snap.scan(lo, hi, limit)
 
-    def _scan_sources(
-        self, lo: bytes, hi: bytes | None
-    ) -> list[Iterator[Record]]:
-        sources: list[Iterator[Record]] = [self._memtable.scan(lo, hi)]
+    def snapshot(self) -> TreeSnapshot:
+        """Pin a consistent point-in-time read view of the tree.
+
+        RAM sources (C0, frozen C0', the snowshovel overlay) are copied;
+        on-disk components are pinned in the :class:`VersionSet`, which
+        defers their ``free()`` past the snapshot's lifetime.  Taking a
+        snapshot costs O(|C0|) copying and no I/O; reads through it
+        charge the device clock exactly like live reads.
+        """
+        self._check_open()
+        ram = [ram_source(self._memtable)]
         if self._frozen is not None:
-            sources.append(self._frozen.scan(lo, hi))
+            ram.append(ram_source(self._frozen))
         if self._m01 is not None:
-            sources.append(self._m01.overlay_scan(lo, hi))
-        for extra in self._extras:
-            sources.append(extra.scan(lo, hi))
-        for component in (self._c1, self._c1_prime, self._c2):
-            if component is not None:
-                sources.append(component.scan(lo, hi))
-        return sources
+            ram.append(ram_source(self._m01.overlay.values()))
+        tables = list(self._extras)  # newest first (§3.2 workaround)
+        tables.extend(
+            component
+            for component in (self._c1, self._c1_prime, self._c2)
+            if component is not None
+        )
+        return TreeSnapshot(self.versions, ram, tables, engine="blsm")
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def flush_log(self) -> None:
-        """Force the logical log (durability barrier)."""
+        """Force the logical log (durability barrier).
+
+        Pending group-commit tickets resolve first — a flush must not
+        leave a session's acknowledged-later batch behind its barrier.
+        """
+        self.stasis.group_commit.drain()
         self.stasis.logical_log.force()
 
     def drain(self) -> None:
@@ -901,11 +950,9 @@ class BLSM:
             self._frozen = None
         self._maybe_persist_bloom(self._c1)
         self.stasis.commit_manifest(self._manifest())
-        self._merge_epoch += 1  # paused scans must re-resolve components
-        if old_c1 is not None:
-            old_c1.free()
-        if consumed_extra is not None:
-            consumed_extra.free()
+        self._merge_epoch += 1  # historical: scans now pin snapshots
+        self.versions.retire(old_c1)
+        self.versions.retire(consumed_extra)
         self._truncate_logical_log()
         if (
             self._c1 is not None
@@ -931,11 +978,9 @@ class BLSM:
         # Major merges are rare: a good moment to drop superseded
         # manifest records so WAL replay stays bounded.
         self.stasis.checkpoint_wal()
-        self._merge_epoch += 1  # paused scans must re-resolve components
-        if old_c2 is not None:
-            old_c2.free()
-        if old_c1_prime is not None:
-            old_c1_prime.free()
+        self._merge_epoch += 1  # historical: scans now pin snapshots
+        self.versions.retire(old_c2)
+        self.versions.retire(old_c1_prime)
         if self._promotion_pending:
             self._promotion_pending = False
             self._try_promote()

@@ -1,0 +1,243 @@
+"""MVCC version sets: pinned, immutable read views over tree components.
+
+The bLSM trees' components are already immutable once built — SSTables
+never change after ``finish()``, and the update-in-place memtable swaps
+whole :class:`~repro.records.Record` objects rather than mutating them.
+That makes snapshot isolation cheap: a reader *pins* the component set
+it can see, merges install new components for later readers, and a
+superseded component's ``free()`` is deferred until the last pin drops.
+
+Three pieces:
+
+* :class:`VersionSet` — per-tree registry of pinned components and
+  *zombies* (components a merge retired while still pinned).  The tree
+  calls :meth:`VersionSet.retire` wherever it used to call
+  ``table.free()``; the free happens immediately when unpinned, or at
+  last-unpin otherwise.  ``deferred_frees`` counts how often a snapshot
+  actually held a component past its retirement — the direct evidence
+  that a read survived a merge install without blocking or restarting.
+* :class:`_RamSource` — an O(size) copy of an in-RAM source (memtable,
+  frozen C0', merge overlay) taken at snapshot time.  RAM sources must
+  be copied, not pinned: the memtable keeps changing under writers.
+* :class:`TreeSnapshot` — the read view itself: copied RAM sources plus
+  pinned on-disk components, in recency order.  ``get``/``multi_get``/
+  ``scan`` walk exactly the source order the live tree would have walked
+  at snapshot time; disk reads charge the virtual clock normally.
+
+Scans built on snapshots never restart: the epoch-validation loop the
+trees used (Section 4.4.1's logical timestamps) re-resolved the
+component set after every merge install, forcing a re-descent from the
+cursor.  A snapshot scan holds its sources for the scan's whole life,
+so a merge or memtable switch underneath it is invisible.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+
+from repro.records import Record, resolve
+from repro.sstable.iterator import kway_merge
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.runtime import EngineRuntime
+    from repro.sstable.reader import SSTable
+
+
+class VersionSet:
+    """Pin registry deferring component frees past live snapshots."""
+
+    def __init__(self, runtime: "EngineRuntime | None" = None) -> None:
+        self._runtime = runtime
+        # id(table) -> (table, pin_count); identity keys because SSTable
+        # instances are the unit of pinning and carry no usable hash.
+        self._pins: dict[int, tuple[Any, int]] = {}
+        self._zombies: dict[int, Any] = {}  # retired while pinned
+        self.deferred_frees = 0
+        self.completed_frees = 0
+
+    @property
+    def pinned_count(self) -> int:
+        """Distinct components currently pinned by live snapshots."""
+        return len(self._pins)
+
+    @property
+    def zombie_count(self) -> int:
+        """Retired components kept alive only by snapshot pins."""
+        return len(self._zombies)
+
+    def pin(self, table: Any) -> None:
+        """Hold ``table``'s storage live until the matching unpin."""
+        key = id(table)
+        entry = self._pins.get(key)
+        self._pins[key] = (table, entry[1] + 1 if entry else 1)
+
+    def unpin(self, table: Any) -> None:
+        """Drop one pin; frees the table if it was retired meanwhile."""
+        key = id(table)
+        entry = self._pins.get(key)
+        if entry is None:
+            return
+        table_obj, count = entry
+        if count > 1:
+            self._pins[key] = (table_obj, count - 1)
+            return
+        del self._pins[key]
+        zombie = self._zombies.pop(key, None)
+        if zombie is not None:
+            zombie.free()
+            self.completed_frees += 1
+            if self._runtime is not None:
+                self._runtime.metrics.counter("versions.zombie_frees").inc()
+
+    def retire(self, table: Any) -> None:
+        """Free ``table`` now, or defer the free while snapshots pin it.
+
+        Drop-in replacement for the ``table.free()`` calls at merge
+        install sites: the manifest no longer references the component,
+        but a pinned snapshot may still be reading it.
+        """
+        if table is None:
+            return
+        key = id(table)
+        if key in self._pins:
+            self._zombies[key] = table
+            self.deferred_frees += 1
+            if self._runtime is not None:
+                self._runtime.metrics.counter("versions.deferred_frees").inc()
+        else:
+            table.free()
+            self.completed_frees += 1
+
+    def crash(self) -> None:
+        """Volatile state is lost: pins and zombies evaporate.
+
+        Zombie extents are *not* freed — the crashed process never got
+        to it, and recovery's orphan-extent sweep reclaims them from the
+        manifest, same as any torn merge's output.
+        """
+        self._pins.clear()
+        self._zombies.clear()
+
+
+class _RamSource:
+    """A point-in-time copy of one in-RAM record source."""
+
+    __slots__ = ("_keys", "_records", "_by_key")
+
+    def __init__(self, records: Iterable[Record]) -> None:
+        ordered = sorted(records, key=lambda record: record.key)
+        self._records = ordered
+        self._keys = [record.key for record in ordered]
+        self._by_key = {record.key: record for record in ordered}
+
+    def get(self, key: bytes) -> Record | None:
+        return self._by_key.get(key)
+
+    def scan(self, lo: bytes, hi: bytes | None) -> Iterator[Record]:
+        start = bisect_left(self._keys, lo)
+        for record in self._records[start:]:
+            if hi is not None and record.key >= hi:
+                return
+            yield record
+
+
+class TreeSnapshot:
+    """An immutable, consistent read view over one tree.
+
+    ``ram_sources`` are already-copied RAM sources and ``tables`` the
+    on-disk components, both in recency order (newest first) — the same
+    order the live tree's read path walks.  The constructor pins every
+    table in ``versions``; :meth:`close` (or context-manager exit)
+    releases the pins, triggering any frees a merge deferred.
+    """
+
+    def __init__(
+        self,
+        versions: VersionSet,
+        ram_sources: Sequence[_RamSource],
+        tables: Sequence["SSTable"],
+        engine: str = "tree",
+    ) -> None:
+        self.engine = engine
+        self._versions = versions
+        self._ram = list(ram_sources)
+        self._tables = list(tables)
+        self._released = False
+        for table in self._tables:
+            versions.pin(table)
+
+    def get(self, key: bytes) -> bytes | None:
+        """Point lookup against the snapshot's component set.
+
+        Same termination rule as the live read path: collect versions
+        newest-to-oldest, stop at the first base record or tombstone,
+        fold deltas (Section 3.1.1).  Disk probes are charged normally.
+        """
+        versions: list[Record] = []
+        for source in self._ram:
+            record = source.get(key)
+            if record is not None:
+                versions.append(record)
+                if not record.is_delta:
+                    return resolve(versions)
+        for table in self._tables:
+            record = table.get(key)
+            if record is not None:
+                versions.append(record)
+                if not record.is_delta:
+                    break
+        return resolve(versions)
+
+    def multi_get(self, keys: Sequence[bytes]) -> list[bytes | None]:
+        """Batched point lookups; results align with ``keys``."""
+        return [self.get(key) for key in keys]
+
+    def scan(
+        self, lo: bytes, hi: bytes | None = None, limit: int | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Range scan over the pinned component set.
+
+        Never restarts: the sources cannot change under the scan, no
+        matter how many merges install or memtables switch while the
+        caller holds it paused.
+        """
+        sources: list[Iterator[Record]] = [
+            source.scan(lo, hi) for source in self._ram
+        ]
+        sources.extend(table.scan(lo, hi) for table in self._tables)
+        emitted = 0
+        for group in kway_merge(sources):
+            value = resolve(group)
+            if value is None:
+                continue
+            yield group[0].key, value
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    def close(self) -> None:
+        """Release the pinned components (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        for table in self._tables:
+            self._versions.unpin(table)
+
+    def __enter__(self) -> "TreeSnapshot":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "pinned"
+        return (
+            f"TreeSnapshot({self.engine}, ram={len(self._ram)}, "
+            f"tables={len(self._tables)}, {state})"
+        )
+
+
+def ram_source(records: Iterable[Record]) -> _RamSource:
+    """Copy an in-RAM record source for inclusion in a snapshot."""
+    return _RamSource(records)

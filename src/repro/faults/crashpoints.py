@@ -236,6 +236,206 @@ def enumerate_crash_points(
     return report
 
 
+# ---------------------------------------------------------------------------
+# Group-commit crash matrix
+# ---------------------------------------------------------------------------
+
+
+def group_commit_script(
+    batches: int, seed: int = 0, sessions: int = 4
+) -> list[tuple[int, list[tuple[str, bytes, bytes | None]]]]:
+    """A deterministic multi-session batch script: ``(session, ops)``."""
+    rng = random.Random(seed)
+    keyspace = max(batches, 16)
+    script: list[tuple[int, list[tuple[str, bytes, bytes | None]]]] = []
+    serial = 0
+    for _ in range(batches):
+        sid = rng.randrange(sessions)
+        ops: list[tuple[str, bytes, bytes | None]] = []
+        for _ in range(rng.randrange(1, 4)):
+            key = f"key-{rng.randrange(keyspace):06d}".encode()
+            if rng.random() < 0.15:
+                ops.append(("delete", key, None))
+            else:
+                ops.append(("put", key, f"value-{serial:06d}".encode()))
+            serial += 1
+        script.append((sid, ops))
+    return script
+
+
+def _drive_group_commit(
+    tree: Any,
+    script: list[tuple[int, list[tuple[str, bytes, bytes | None]]]],
+    applied: list[tuple[str, bytes, bytes | None]],
+    tickets: list[Any],
+) -> None:
+    """Submit every batch with ``wait=False``; wait on every 5th ticket.
+
+    The staggered waits are the point of the matrix: a wait drains the
+    queue mid-stream, so a crash during it lands on a force covering a
+    *partially drained* commit group — some tickets acked by the leader,
+    the rest still queued.  ``applied`` accumulates the flattened record
+    stream in seqno order and ``tickets`` the commit receipts, both
+    mutated in place so the caller still sees the pre-crash truth when a
+    CrashPoint unwinds.
+    """
+    queue = tree.stasis.group_commit
+    for index, (sid, ops) in enumerate(script):
+        ticket = tree.write_batch(ops, session=sid, wait=False)
+        applied.extend(ops)
+        tickets.append(ticket)
+        if index % 5 == 4:
+            queue.wait(ticket)
+    tree.flush_log()
+
+
+def _acked_records(
+    script: list[tuple[int, list[tuple[str, bytes, bytes | None]]]],
+    tickets: list[Any],
+) -> int:
+    """Records covered by resolved tickets (a seqno-prefix: the durable
+    LSN is monotone, so a resolved ticket implies every earlier one)."""
+    covered = 0
+    for index, ticket in enumerate(tickets):
+        if ticket.durable_at is None:
+            break
+        covered = sum(len(ops) for _, ops in script[: index + 1])
+    return covered
+
+
+def _verify_prefix_consistent(
+    recovered: Any,
+    applied: list[tuple[str, bytes, bytes | None]],
+    min_records: int,
+    outcome: CrashOutcome,
+) -> None:
+    """The recovered store must equal *some* seqno-prefix of the record
+    stream no shorter than the acked coverage.
+
+    Group commit's contract in one predicate: every record covered by a
+    resolved ticket (leader *and* followers — they inherited the same
+    durable LSN) survives, and whatever else survives is a clean prefix
+    extension, never a gap — a follower's batch can't be half-applied
+    ahead of the leader's force that acked it.
+    """
+    keys = sorted({key for _, key, _ in applied})
+    actual = {key: recovered.get(key) for key in keys}
+    state: dict[bytes, bytes | None] = {}
+    for op, key, value in applied[:min_records]:
+        state[key] = value if op == "put" else None
+    for cut in range(min_records, len(applied) + 1):
+        if cut > min_records:
+            op, key, value = applied[cut - 1]
+            state[key] = value if op == "put" else None
+        if all(state.get(key) == actual[key] for key in keys):
+            return
+    outcome.failures.append(
+        f"recovered state matches no record prefix >= {min_records} "
+        f"(of {len(applied)} records)"
+    )
+
+
+def enumerate_group_commit_crash_points(
+    batches: int = 60,
+    every: int = 1,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> CrashTestReport:
+    """Kill the GROUP-durability commit path at every I/O boundary.
+
+    Runs a multi-session batch script through a ``GROUP``-mode BLSM tree
+    (writes commit via the leader-based queue, ``wait=False``, with
+    staggered waits so forces interleave with submits), crashing at
+    every ``every``-th device access — which places kills inside leader
+    forces over partially drained groups, memtable-flush merges, and the
+    final drain.  After each crash, recovery must yield a state that is
+    prefix-consistent with the submitted record stream and no shorter
+    than what the resolved tickets acked (see
+    :func:`_verify_prefix_consistent`).
+    """
+    from dataclasses import replace as _replace
+
+    from repro.storage.logical_log import DurabilityMode
+
+    if batches <= 0:
+        raise ValueError(f"batches must be positive, got {batches}")
+    if every <= 0:
+        raise ValueError(f"every must be positive, got {every}")
+    registry = _registry()
+    script = group_commit_script(batches, seed=seed)
+
+    def build(plan: FaultPlan) -> Any:
+        from repro.core.tree import BLSM
+
+        options = _replace(
+            registry.crash_options(plan, seed),
+            durability=DurabilityMode.GROUP,
+        )
+        return BLSM(options)
+
+    # Counting run (disarmed): how many device accesses the full driven
+    # workload performs — each one is a crash candidate.
+    plan = FaultPlan(seed=seed, armed=False)
+    tree = build(plan)
+    plan.arm()
+    _drive_group_commit(tree, script, [], [])
+    plan.disarm()
+    tree.close()
+    total = plan.access_count
+
+    report = CrashTestReport(
+        engine="blsm-group",
+        ops=sum(len(ops) for _, ops in script),
+        every=every,
+        seed=seed,
+        total_accesses=total,
+        points_tested=0,
+        crashes_triggered=0,
+        recoveries_verified=0,
+    )
+    for access in range(1, total + 1, every):
+        outcome = CrashOutcome(
+            access_index=access, crashed=False, recovered=False
+        )
+        plan = FaultPlan.crash_at(access, seed=seed, armed=False)
+        tree = build(plan)
+        applied: list[tuple[str, bytes, bytes | None]] = []
+        tickets: list[Any] = []
+        plan.arm()
+        try:
+            _drive_group_commit(tree, script, applied, tickets)
+        except CrashPoint:
+            outcome.crashed = True
+        finally:
+            plan.disarm()
+        if outcome.crashed:
+            report.crashes_triggered += 1
+            acked = _acked_records(script, tickets)
+            tree.stasis.crash()
+            recovered = registry.recover_crash_tree(
+                "blsm", tree.stasis, tree.options
+            )
+            outcome.recovered = True
+            _verify_prefix_consistent(recovered, applied, acked, outcome)
+        else:
+            tree.close()
+            # Boundary past the workload: the completed, fully drained
+            # run must equal the full record stream exactly.
+            _verify_prefix_consistent(
+                tree, applied, len(applied), outcome
+            )
+        if outcome.ok and outcome.recovered:
+            report.recoveries_verified += 1
+        report.points_tested += 1
+        report.outcomes.append(outcome)
+        if progress is not None and access % 50 == 1:
+            progress(
+                f"crashtest[blsm-group]: boundary {access}/{total}, "
+                f"{len(report.failures)} failures"
+            )
+    return report
+
+
 @dataclass
 class MigrationCrashReport:
     """Aggregate result of one migration crash-point enumeration run.

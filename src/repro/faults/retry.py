@@ -49,6 +49,12 @@ class RetryPolicy:
             ``[1 - jitter, 1 + jitter]`` so a fleet of retriers does not
             thunder in lockstep.  Zero (the default) keeps the historic
             deterministic schedule.
+        seed: seed for the jitter RNG.  The seed travels *with the
+            policy* so every executor built from it draws the same
+            jitter sequence — replaying a faulted trace under the same
+            policy reproduces the same backoff schedule bit-for-bit.
+            (Module-level ``random`` would make replay depend on
+            whatever else had consumed the global stream.)
     """
 
     max_attempts: int = 4
@@ -56,6 +62,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     deadline_seconds: float | None = None
     jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -89,12 +96,14 @@ class RetryExecutor:
         policy: RetryPolicy,
         clock: VirtualClock,
         runtime: "EngineRuntime | None" = None,
-        seed: int = 0,
+        seed: int | None = None,
     ) -> None:
         self.policy = policy
         self.clock = clock
         self.runtime = runtime
-        self._rng = random.Random(seed)
+        # The policy carries the jitter seed (see RetryPolicy.seed); an
+        # explicit ``seed`` argument overrides it for tests only.
+        self._rng = random.Random(policy.seed if seed is None else seed)
         if runtime is not None:
             metrics = runtime.metrics
             self._ctr_retries = metrics.counter("retry.retries")

@@ -26,7 +26,7 @@ gets never resurrect a stale replica (see docs/sharding.md).
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence, TypeVar
 
 from repro.baselines.blsm_engine import BLSMEngine
@@ -40,6 +40,7 @@ from repro.errors import ShardFanoutError
 from repro.obs.runtime import EngineRuntime
 from repro.shard.partitioner import HashPartitioner, Partitioner
 from repro.sim.clock import VirtualClock
+from repro.storage.group_commit import CommitTicket
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.shard.migration import MigrationController, ShardLease
@@ -343,10 +344,10 @@ class ShardedEngine(KVEngine):
                         values[position] = value
         return values
 
-    def apply_batch(
+    def _route_writes(
         self, batch: WriteBatch | Any
-    ) -> None:
-        """Apply a write batch with per-shard sub-batches overlapped.
+    ) -> tuple[dict[int, WriteBatch], int]:
+        """Split a write batch into per-shard sub-batches.
 
         Puts write the current owner and tombstone historic owners;
         deletes broadcast to every owner (tombstones are the
@@ -397,6 +398,18 @@ class ShardedEngine(KVEngine):
             for index, entry in routed:
                 sub = by_shard.setdefault(index, WriteBatch())
                 sub._ops.append(entry)
+        return by_shard, ops
+
+    def apply_batch(
+        self, batch: WriteBatch | Any
+    ) -> None:
+        """Apply a write batch with per-shard sub-batches overlapped.
+
+        Routing semantics live in :meth:`_route_writes`; each shard
+        services its sub-batch on its own clock and the batch completes
+        at the max of the shard completion times.
+        """
+        by_shard, ops = self._route_writes(batch)
         if not by_shard:
             return
 
@@ -411,6 +424,60 @@ class ShardedEngine(KVEngine):
             ops=ops,
         )
 
+    def commit_batch(
+        self, batch: WriteBatch, session: int = 0, wait: bool = True
+    ) -> CommitTicket:
+        """Durably commit a batch: per-shard sub-commits, overlapped.
+
+        Each involved shard commits its sub-batch through its own WAL
+        (and, under GROUP durability, its own group-commit queue), so
+        the commit costs the slowest shard's force, not the sum.  The
+        returned ticket aggregates the per-shard receipts: ``durable_at``
+        is the max shard durability time — the instant the whole batch
+        is durable fleet-wide.  ``wait=False`` is accepted for interface
+        compatibility but resolves synchronously: per-shard clocks are
+        independent, so the overlap already captures the latency win.
+        """
+        issue = self._clock.now
+        by_shard, ops = self._route_writes(batch)
+        if not by_shard:
+            return CommitTicket(
+                session=session,
+                first_seqno=0,
+                last_seqno=-1,
+                ops=0,
+                enqueued_at=issue,
+                leader=True,
+                group_size=1,
+                durable_at=issue,
+            )
+
+        def commit(sub: WriteBatch) -> Callable[[KVEngine], CommitTicket]:
+            return lambda shard: shard.commit_batch(
+                sub, session=session, wait=True
+            )
+
+        for index, sub in by_shard.items():
+            self._shard_ops[index].inc(len(sub))
+        receipts = self._fan_out(
+            {index: commit(sub) for index, sub in by_shard.items()},
+            "commit_batch",
+            ops=ops,
+        )
+        tickets = list(receipts.values())
+        return CommitTicket(
+            session=session,
+            first_seqno=min(t.first_seqno for t in tickets),
+            last_seqno=max(t.last_seqno for t in tickets),
+            ops=ops,
+            enqueued_at=issue,
+            leader=True,
+            group_size=max(t.group_size for t in tickets),
+            durable_at=max(
+                t.durable_at for t in tickets if t.durable_at is not None
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Scatter-gather scan
     # ------------------------------------------------------------------
@@ -418,58 +485,95 @@ class ShardedEngine(KVEngine):
     def scan(
         self, lo: bytes, hi: bytes | None = None, limit: int | None = None
     ) -> Iterator[tuple[bytes, bytes]]:
-        """Merged range scan across every shard (heap merge).
+        """Merged range scan across every shard (chunked cursor merge).
 
-        Each shard produces at most ``limit`` rows (any row of the
-        final merged prefix must be within the first ``limit`` of its
-        shard), the per-shard scans overlap on the time axis, and the
-        sorted streams heap-merge.  A key yielded by several shards (a
-        range resize left an old version behind) resolves to the
-        version from the *newest* owner in the placement history.
+        With a ``limit``, each shard initially produces only
+        ``ceil(limit / shards) + 1`` rows — not ``limit`` — and the
+        merge refills an individual shard's cursor (from just past its
+        last delivered key) only when that shard runs dry *before* the
+        global limit is met.  Uniformly distributed rows therefore cost
+        each shard ~1/N of the limit in device time; the old
+        limit-from-every-shard fetch charged N times that and threw
+        away the excess.  Skewed distributions degrade gracefully: the
+        shard holding the whole prefix pays chunked refills up to
+        ``limit`` while the others stop after one empty chunk.  The
+        initial chunk fetch overlaps across shards on the time axis;
+        refills are sequential (the merge is blocked on that shard).
+
+        A key yielded by several shards (a range resize left an old
+        version behind) resolves to the version from the *newest* owner
+        in the placement history.
 
         While a migration is staging rows on its target (copy and
-        catch-up phases), the target's scan skips the staged range
+        catch-up phases), the target's cursor skips the staged range
         entirely — a two-window sub-scan around the mask, not a
-        post-filter, so the per-shard ``limit`` still produces enough
-        rows *outside* the mask to honor the merged prefix guarantee.
-        A staged copy of a key deleted on the source mid-copy must
-        never resurrect in a scan.
+        post-filter, so a chunk still produces enough rows *outside*
+        the mask to honor the merged prefix guarantee.  A staged copy
+        of a key deleted on the source mid-copy must never resurrect
+        in a scan.
         """
-
-        def collect(shard: KVEngine) -> list[tuple[bytes, bytes]]:
-            return list(shard.scan(lo, hi, limit))
-
-        groups: dict[int, Callable[[KVEngine], list[tuple[bytes, bytes]]]]
-        groups = {index: collect for index in range(len(self.shards))}
+        count = len(self.shards)
         mask = (
             self.migration.mask_range() if self.migration is not None else None
         )
-        if mask is not None:
-            masked_shard, mask_lo, mask_hi = mask
+        chunk = (
+            None if limit is None else max(1, -(-limit // count) + 1)
+        )
 
-            def masked_collect(shard: KVEngine) -> list[tuple[bytes, bytes]]:
-                rows: list[tuple[bytes, bytes]] = []
-                below_hi = mask_lo if hi is None else min(hi, mask_lo)
-                if lo < below_hi:
-                    rows.extend(shard.scan(lo, below_hi, limit))
-                above_lo = max(lo, mask_hi)
-                remaining = None if limit is None else limit - len(rows)
-                if (remaining is None or remaining > 0) and (
-                    hi is None or above_lo < hi
-                ):
-                    rows.extend(shard.scan(above_lo, hi, remaining))
-                return rows
+        def fetch(
+            index: int, start: bytes, want: int | None
+        ) -> Callable[[KVEngine], list[tuple[bytes, bytes]]]:
+            if mask is not None and mask[0] == index:
+                _, mask_lo, mask_hi = mask
 
-            groups[masked_shard] = masked_collect
-        results = self._fan_out(groups, "scan", ops=1)
-        streams = [
-            [(key, index, value) for key, value in rows]
-            for index, rows in sorted(results.items())
-        ]
-        merged = heapq.merge(*streams)
-        emitted = 0
-        pending_key: bytes | None = None
-        pending: dict[int, bytes] = {}
+                def masked(shard: KVEngine) -> list[tuple[bytes, bytes]]:
+                    rows: list[tuple[bytes, bytes]] = []
+                    below_hi = mask_lo if hi is None else min(hi, mask_lo)
+                    if start < below_hi:
+                        rows.extend(shard.scan(start, below_hi, want))
+                    above_lo = max(start, mask_hi)
+                    remaining = None if want is None else want - len(rows)
+                    if (remaining is None or remaining > 0) and (
+                        hi is None or above_lo < hi
+                    ):
+                        rows.extend(shard.scan(above_lo, hi, remaining))
+                    return rows
+
+                return masked
+            return lambda shard: list(shard.scan(start, hi, want))
+
+        results = self._fan_out(
+            {index: fetch(index, lo, chunk) for index in range(count)},
+            "scan",
+            ops=1,
+        )
+        buffers: dict[int, deque[tuple[bytes, bytes]]] = {
+            index: deque(rows) for index, rows in results.items()
+        }
+        # Cursor: where the next chunk for this shard starts (just past
+        # the last row it has delivered so far).
+        cursors = {
+            index: rows[-1][0] + b"\x00" if rows else lo
+            for index, rows in results.items()
+        }
+        # A shard that returned a short chunk has no more rows in range;
+        # with no limit the first fetch was already exhaustive.
+        exhausted = {
+            index: chunk is None or len(rows) < chunk
+            for index, rows in results.items()
+        }
+
+        def refill(index: int, emitted: int) -> None:
+            assert limit is not None
+            want = min(chunk or limit, max(1, limit - emitted))
+            rows = self._on_shard(
+                index, fetch(index, cursors[index], want), "scan"
+            )
+            buffers[index].extend(rows)
+            if rows:
+                cursors[index] = rows[-1][0] + b"\x00"
+            if len(rows) < want:
+                exhausted[index] = True
 
         def resolve(key: bytes, versions: dict[int, bytes]) -> bytes:
             for owner in self.partitioner.owners(key):
@@ -477,18 +581,31 @@ class ShardedEngine(KVEngine):
                     return versions[owner]
             return versions[min(versions)]
 
-        for key, index, value in merged:
-            if key != pending_key:
-                if pending_key is not None:
-                    yield pending_key, resolve(pending_key, pending)
-                    emitted += 1
-                    if limit is not None and emitted >= limit:
-                        return
-                pending_key = key
-                pending = {}
-            pending[index] = value
-        if pending_key is not None and (limit is None or emitted < limit):
-            yield pending_key, resolve(pending_key, pending)
+        emitted = 0
+        while True:
+            # The merge may only emit the global minimum head once every
+            # non-exhausted shard has a head to compare (a dry cursor
+            # could still be hiding smaller keys behind a refill).
+            for index in range(count):
+                while not buffers[index] and not exhausted[index]:
+                    refill(index, emitted)
+            heads = [
+                (buffers[index][0][0], index)
+                for index in range(count)
+                if buffers[index]
+            ]
+            if not heads:
+                return
+            key = min(heads)[0]
+            versions = {
+                index: buffers[index].popleft()[1]
+                for _, index in heads
+                if buffers[index][0][0] == key
+            }
+            yield key, resolve(key, versions)
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
 
     # ------------------------------------------------------------------
     # Online migration surface

@@ -351,6 +351,20 @@ class SimDisk:
             self.clock.advance(seconds)
         self.stats.busy_seconds += seconds
 
+    def sync_barrier(self) -> None:
+        """Forget head-sequentiality after a durability barrier.
+
+        A force (fsync) waits for the platter to pass the tail sector and
+        drains the device queue; by the time the *next* append is issued
+        the head has rotated past it, so that append repositions even
+        though its offset is numerically contiguous.  This is why a
+        synchronous log commit is bound by access latency while an
+        unsynced streaming log is bound by bandwidth (Sections 2.2 and
+        4.4.2) — and why group commit, which amortizes one barrier across
+        many commits, is worth modelling at all.
+        """
+        self._head = -1
+
     # -- fault-query surface -------------------------------------------
     #
     # Checksummed consumers (pagefile, logs) ask the device whether a byte
@@ -533,6 +547,12 @@ class StripedDisk(SimDisk):
         else:
             self.clock.advance_to(end)
         return latency
+
+    def sync_barrier(self) -> None:
+        """A barrier drains every member's queue (see base class)."""
+        super().sync_barrier()
+        for member in self.members:
+            member.sync_barrier()
 
     def __repr__(self) -> str:
         return (

@@ -10,6 +10,7 @@ individual writes.  This package re-implements each of those pieces over a
 
 from repro.storage.buffer import BufferManager, EvictionPolicy
 from repro.storage.checksum import CORRUPTION_MASK, payload_checksum
+from repro.storage.group_commit import CommitTicket, GroupCommitQueue
 from repro.storage.logical_log import DurabilityMode, LogicalLog, LogicalRecord
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
 from repro.storage.region import Extent, RegionAllocator
@@ -19,10 +20,12 @@ from repro.storage.wal import WALRecord, WriteAheadLog
 __all__ = [
     "BufferManager",
     "CORRUPTION_MASK",
+    "CommitTicket",
     "DEFAULT_PAGE_SIZE",
     "DurabilityMode",
     "EvictionPolicy",
     "Extent",
+    "GroupCommitQueue",
     "LogicalLog",
     "LogicalRecord",
     "PageFile",

@@ -11,9 +11,15 @@ Three durability modes are supported, matching the paper and contemporary
 practice (Section 4.4.2 and 5.1):
 
 * ``SYNC`` — force the log on every write (commit-latency bound).
-* ``ASYNC`` — group commit; force when the buffer exceeds a threshold.
-  This is the paper's benchmark configuration ("none of the systems sync
-  their logs at commit").
+* ``ASYNC`` — size-triggered batching; force when the buffer exceeds a
+  threshold.  This is the paper's benchmark configuration ("none of the
+  systems sync their logs at commit").
+* ``GROUP`` — leader-based group commit: ``log()`` only stages the
+  record; a :class:`~repro.storage.group_commit.GroupCommitQueue` owns
+  every force, so concurrent sessions amortize one force across their
+  batches (Stasis group commit, Section 4.4.2).  Durability of an
+  individual write is acknowledged by its commit ticket, never by
+  ``log()`` returning.
 * ``NONE`` — the degraded mode: no logging at all; after a crash, writes
   since the last completed merge are lost, which the paper notes is
   acceptable for high-throughput replication.
@@ -50,6 +56,7 @@ class DurabilityMode(enum.Enum):
 
     SYNC = "sync"
     ASYNC = "async"
+    GROUP = "group"
     NONE = "none"
 
 
@@ -94,7 +101,9 @@ class LogicalLog:
         self._truncated_below = 0  # seqnos below this are covered by trees
         self._offsets: dict[int, tuple[int, int]] = {}  # seqno -> (offset, nbytes)
         self._torn: set[int] = set()  # seqnos whose write was torn mid-record
+        self._durable_seqno = -1  # highest seqno fully persisted by a force
         self.torn_records_dropped = 0
+        self.forces = 0  # completed non-empty forces (any mode)
 
     @property
     def truncated_below(self) -> int:
@@ -105,6 +114,22 @@ class LogicalLog:
     def durable_records(self) -> int:
         """Number of records currently durable (post-truncation)."""
         return len(self._durable)
+
+    @property
+    def durable_seqno(self) -> int:
+        """Highest seqno a completed force fully persisted (-1 if none).
+
+        This is the LSN a group-commit leader hands to its followers:
+        every record at or below it survived the leader's force.
+        Truncation never lowers it — covered writes stay durable, just in
+        a tree component instead of the log.
+        """
+        return self._durable_seqno
+
+    @property
+    def pending_count(self) -> int:
+        """Staged (appended but not yet forced) records."""
+        return len(self._pending)
 
     def log(self, seqno: int, op: str, key: bytes, value: bytes | None) -> float:
         """Append one write; return the virtual time spent forcing, if any."""
@@ -117,6 +142,9 @@ class LogicalLog:
         self._pending_bytes += record.nbytes
         if self.mode is DurabilityMode.SYNC:
             return self.force()
+        if self.mode is DurabilityMode.GROUP:
+            # The GroupCommitQueue owns every force; log() only stages.
+            return 0.0
         if self._pending_bytes >= self.group_commit_bytes:
             return self.force()
         return 0.0
@@ -133,17 +161,26 @@ class LogicalLog:
             return 0.0
         offset = self._tail_offset
         nbytes = self._pending_bytes
+        # A force is a durability barrier: the write it issues pays head
+        # positioning even though the log is numerically sequential (see
+        # SimDisk.sync_barrier).  This is what makes per-commit syncing
+        # access-bound and gives group commit something to amortize.
+        self.disk.sync_barrier()
         try:
             service = self._write(offset, nbytes)
         except CrashPoint as crash:
             self._absorb_torn_force(offset, crash.persisted_bytes)
             raise
+        self.forces += 1
         cursor = offset
         for record in self._pending:
             self._offsets[record.seqno] = (cursor, record.nbytes)
             cursor += record.nbytes
         self._tail_offset += nbytes
         self._durable.extend(self._pending)
+        self._durable_seqno = max(
+            self._durable_seqno, max(r.seqno for r in self._pending)
+        )
         self._pending.clear()
         self._pending_bytes = 0
         return service
@@ -162,6 +199,7 @@ class LogicalLog:
             if cursor + record.nbytes <= persisted:
                 self._offsets[record.seqno] = (offset + cursor, record.nbytes)
                 self._durable.append(record)
+                self._durable_seqno = max(self._durable_seqno, record.seqno)
             elif cursor < persisted:
                 self._offsets[record.seqno] = (offset + cursor, record.nbytes)
                 self._durable.append(record)

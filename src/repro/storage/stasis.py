@@ -34,6 +34,7 @@ from repro.obs.runtime import EngineRuntime
 from repro.sim.clock import VirtualClock
 from repro.sim.disk import DiskModel, SimDisk, StripedDisk
 from repro.storage.buffer import BufferManager, EvictionPolicy
+from repro.storage.group_commit import GroupCommitQueue
 from repro.storage.logical_log import DurabilityMode, LogicalLog
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
 from repro.storage.region import RegionAllocator
@@ -133,6 +134,7 @@ class Stasis:
         self.regions = RegionAllocator()
         self.wal = WriteAheadLog(self.log_disk, retry=self.retry)
         self.logical_log = LogicalLog(self.log_disk, durability, retry=self.retry)
+        self.group_commit = GroupCommitQueue(self)
         self._committed_manifest: Any = None
 
     @property
@@ -176,6 +178,7 @@ class Stasis:
         self.buffer.drop_all()
         self.wal.crash()
         self.logical_log.crash()
+        self.group_commit.crash()
 
     def io_summary(self) -> dict[str, Any]:
         """Combined device counters, for benchmark reporting.

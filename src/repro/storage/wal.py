@@ -93,6 +93,16 @@ class WriteAheadLog:
         """Bytes of durable records replay would read."""
         return sum(record.nbytes for record in self._records)
 
+    @property
+    def tail_offset(self) -> int:
+        """Device offset the next force appends at."""
+        return self._tail_offset
+
+    @property
+    def pending_records(self) -> int:
+        """Appended records the next force will make durable."""
+        return len(self._pending)
+
     def append(self, kind: str, payload: Any, nbytes: int | None = None) -> int:
         """Buffer a record; it becomes durable at the next ``force``.
 
@@ -223,12 +233,27 @@ class WriteAheadLog:
         return actual ^ CORRUPTION_MASK if damaged else actual
 
     def _truncate_torn_tail(self, lsn: int) -> None:
-        """Drop the torn record and everything after it (replay-time)."""
+        """Drop the torn record and everything after it (replay-time).
+
+        Also rolls the tail offset back to where the torn record began:
+        its partial bytes are garbage, and leaving the tail past them
+        would strand dead space inside the live extent — ``live_bytes``
+        would claim bytes the device no longer meaningfully holds, and
+        the ``head <= record extents <= tail`` accounting invariant
+        (pinned by the WAL property test) would drift.  Appends after
+        recovery overwrite the torn region, exactly as a real log
+        manager re-uses the tail after tail truncation.
+        """
+        placement = self._offsets.get(lsn)
         dropped = [record for record in self._records if record.lsn >= lsn]
         self._records = [record for record in self._records if record.lsn < lsn]
         for record in dropped:
             self._offsets.pop(record.lsn, None)
             self._torn.discard(record.lsn)
+        if placement is not None:
+            self._tail_offset = placement[0]
+        if not self._records:
+            self._head_offset = self._tail_offset
         self.torn_truncations += 1
         runtime = self.disk.runtime
         if runtime is not None:

@@ -331,6 +331,13 @@ def default_fuzz_configs(
             return build_engine("blsm", base, fault_plan=plan)
 
         configs.append(FuzzConfig("blsm-faulty", build_faulted))
+    if "blsm" in names:
+        # GROUP durability: every write commits through the leader-based
+        # group-commit queue instead of forcing in log(); the same trace
+        # must stay oracle-correct with the new commit path underneath.
+        configs.append(
+            FuzzConfig("blsm-group", builder("blsm", durability="group"))
+        )
     return configs
 
 

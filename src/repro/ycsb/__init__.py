@@ -23,6 +23,12 @@ from repro.ycsb.metrics import (
     Timeseries,
 )
 from repro.ycsb.open_loop import OpenLoopResult, run_open_loop
+from repro.ycsb.sessions import (
+    SessionsResult,
+    commit_queues,
+    logical_logs,
+    run_sessions,
+)
 from repro.ycsb.runner import (
     RunResult,
     execute_batch,
@@ -49,7 +55,11 @@ __all__ = [
     "OpKind",
     "RunResult",
     "run_open_loop",
+    "run_sessions",
+    "SessionsResult",
     "ScrambledZipfianChooser",
+    "commit_queues",
+    "logical_logs",
     "Timeseries",
     "UniformChooser",
     "WorkloadSpec",

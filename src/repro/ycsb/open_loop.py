@@ -34,6 +34,10 @@ class OpenLoopResult:
     """Virtual seconds from first arrival to last completion."""
     backlog_seconds: float
     """How far completion lagged the final arrival (>0 under overload)."""
+    arrival_window: float = 0.0
+    """Virtual seconds from first to last arrival (the offered-load span)."""
+    completed_in_window: int = 0
+    """Operations whose completion landed inside the arrival window."""
 
     @property
     def saturated(self) -> bool:
@@ -44,6 +48,18 @@ class OpenLoopResult:
 
     @property
     def achieved_rate(self) -> float:
+        """Completions per second *while load was offered*.
+
+        Measured over the arrival window, not first-arrival-to-last-
+        completion: a trailing stall after the final arrival (say, a
+        merge the last write triggered) extends ``completed_in`` but
+        says nothing about how fast the engine absorbed the offered
+        rate — dividing by it made a keeping-up engine look saturated.
+        Falls back to the old ratio when the window is degenerate
+        (zero or one arrival).
+        """
+        if self.arrival_window > 0:
+            return self.completed_in_window / self.arrival_window
         if self.completed_in <= 0:
             return 0.0
         return self.operations / self.completed_in
@@ -74,6 +90,7 @@ def run_open_loop(
     arrival = clock.now
     interval = 1.0 / offered_rate
     operations = 0
+    completions: list[float] = []
     for op in generator.operations():
         arrival += rng.expovariate(offered_rate) if poisson else interval
         if first_arrival is None:
@@ -85,9 +102,13 @@ def run_open_loop(
         clock.advance_to(arrival)
         execute(engine, op)
         stats.record(clock.now - arrival)
+        completions.append(clock.now)
         operations += 1
+    last_arrival = arrival
     completed_in = clock.now - (first_arrival or clock.now)
-    backlog = max(0.0, clock.now - arrival)
+    backlog = max(0.0, clock.now - last_arrival)
+    window = last_arrival - (first_arrival if first_arrival is not None else last_arrival)
+    in_window = sum(1 for done in completions if done <= last_arrival)
     return OpenLoopResult(
         engine=engine.name,
         offered_rate=offered_rate,
@@ -95,4 +116,6 @@ def run_open_loop(
         latency=stats,
         completed_in=completed_in,
         backlog_seconds=backlog,
+        arrival_window=window,
+        completed_in_window=in_window,
     )

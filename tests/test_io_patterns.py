@@ -75,7 +75,12 @@ def test_uncached_point_read_is_one_seek_one_block():
     assert sum(1 for e in reads if e.seek) == 1
 
 
-def test_log_appends_are_strictly_sequential():
+def test_log_appends_batch_into_few_forces():
+    # Size-triggered batching turns thousands of appends into a handful
+    # of large forces.  Each force pays exactly one head positioning (a
+    # durability barrier breaks sequentiality — SimDisk.sync_barrier);
+    # the batching is what keeps the log bandwidth-bound, not the
+    # absence of barriers.
     tree = BLSM(BLSMOptions(c0_bytes=1 << 20))
     tree.stasis.log_disk.start_trace()
     for i in range(2000):
@@ -84,4 +89,5 @@ def test_log_appends_are_strictly_sequential():
     events = tree.stasis.log_disk.stop_trace()
     writes = [e for e in events if e.kind == "write"]
     assert writes
-    assert sum(1 for e in writes if e.seek) <= 1  # only the first append
+    assert len(writes) <= 4  # 2000 appends coalesced into a few forces
+    assert all(e.seek for e in writes)  # one barrier per force, no more

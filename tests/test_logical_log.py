@@ -34,10 +34,24 @@ def test_none_mode_never_logs():
     assert log.disk.stats.bytes_written == 0
 
 
-def test_force_is_sequential():
+def test_sync_forces_pay_one_barrier_each():
+    # A force is a durability barrier: every forced write repositions
+    # (SimDisk.sync_barrier), so per-write syncing pays one access per
+    # write — the cost group commit exists to amortize.
     log = make_log(DurabilityMode.SYNC)
     for i in range(5):
         log.log(i, "put", b"k%d" % i, b"v")
+    assert log.forces == 5
+    assert log.disk.stats.seeks == 5
+
+
+def test_async_batches_amortize_the_barrier():
+    # Unsynced batching pays a single barrier for the whole buffer.
+    log = make_log(DurabilityMode.ASYNC)
+    for i in range(5):
+        log.log(i, "put", b"k%d" % i, b"v")
+    log.force()
+    assert log.forces == 1
     assert log.disk.stats.seeks == 1
 
 

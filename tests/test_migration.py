@@ -919,3 +919,31 @@ def test_property_journal_crash_recovers_to_consistent_ownership(
     if crashed:
         assert journal_plan.fired_by_kind.get("crash", 0) >= 1
     recovered.close()
+
+
+def test_scan_mask_preserves_limits_through_chunked_refills():
+    # The chunked scan applies the migration mask as a two-window
+    # sub-fetch on the target shard; every limit must see exactly the
+    # same prefix the oracle does, mid-copy, including limits that force
+    # repeated refills straddling the masked range.
+    engine, controller = make_fleet(chunk_keys=4)
+    model = load_keys(engine, 120)
+    controller.start(plan_split(engine, 0))
+    for _ in range(4):
+        controller.step()
+    assert controller.state == "copy"
+    assert controller.mask_range() is not None
+    expected = sorted(model.items())
+    for limit in (1, 3, 7, 25, 60, 119, 120, 200):
+        assert list(engine.scan(b"", None, limit)) == expected[:limit], (
+            f"limit={limit} diverged mid-copy"
+        )
+    lo, hi = key(10), key(90)
+    window = [(k, v) for k, v in expected if lo <= k < hi]
+    for limit in (5, 17, None):
+        got = list(engine.scan(lo, hi, limit))
+        want = window if limit is None else window[:limit]
+        assert got == want, f"bounded scan limit={limit} diverged mid-copy"
+    controller.run_to_completion()
+    verify_model(engine, model)
+    engine.close()

@@ -91,3 +91,25 @@ def test_invalid_rate_rejected():
     engine, spec = engine_and_spec()
     with pytest.raises(ValueError):
         run_open_loop(engine, spec, offered_rate=0)
+
+
+def test_trailing_stall_does_not_deflate_achieved_rate():
+    # Regression: achieved_rate used to divide by first-arrival-to-last-
+    # completion, so an engine stall *after* the final arrival (a merge
+    # the last write kicked off) made a keeping-up engine look
+    # saturated.  The rate is now measured over the arrival window.
+    capacity = closed_loop_capacity()
+    engine, spec = engine_and_spec()
+    rate = 0.3 * capacity
+    result = run_open_loop(engine, spec, offered_rate=rate, seed=2)
+    assert not result.saturated
+    baseline = result.achieved_rate
+    assert baseline == pytest.approx(rate, rel=0.15)
+    # Simulate the trailing stall: same completions, with the clock (and
+    # thus completed_in) dragged far past the last arrival.
+    stalled = run_open_loop(engine_and_spec()[0], spec, offered_rate=rate, seed=2)
+    stalled.completed_in += 30.0  # 30 virtual seconds of post-arrival work
+    stalled.backlog_seconds += 30.0
+    assert stalled.achieved_rate == pytest.approx(baseline)  # unmoved
+    # The old ratio would have collapsed:
+    assert stalled.operations / stalled.completed_in < 0.5 * baseline

@@ -364,3 +364,70 @@ def test_four_shards_triple_batched_read_throughput():
     assert speedup >= 3.0, f"speedup {speedup:.2f}x below the 3x acceptance bar"
     assert sharded_run.batch is not None
     assert sharded_run.batch.operations == spec.operation_count
+
+
+# ----------------------------------------------------------------------
+# Chunked limit-aware scans
+# ----------------------------------------------------------------------
+
+
+def test_limited_scan_fetches_chunks_not_whole_shards():
+    # The chunked fetch asks each shard for ~limit/N rows up front and
+    # refills only a shard that runs dry, so a small-limit scan over a
+    # big fleet must pull a few dozen rows from the shards — not every
+    # row they hold, which is what the old fetch-everything merge did.
+    engine = make_engine(shards=4)
+    for i in range(800):
+        engine.put(b"key-%06d" % i, b"v%06d" % i)
+
+    fetched = {"rows": 0}
+    for shard in engine.shards:
+        original = shard.scan
+
+        def counting_scan(lo, hi=None, limit=None, _original=original):
+            rows = list(_original(lo, hi, limit))
+            fetched["rows"] += len(rows)
+            return iter(rows)
+
+        shard.scan = counting_scan
+
+    rows = list(engine.scan(b"", None, 8))
+    assert [key for key, _ in rows] == [b"key-%06d" % i for i in range(8)]
+    # chunk = ceil(8/4) + 1 = 3 per shard up front, plus bounded refills
+    # on whichever shard supplies the head run.
+    assert fetched["rows"] <= 8 * len(engine.shards), (
+        f"limit=8 scan pulled {fetched['rows']} rows from the shards"
+    )
+    fetched["rows"] = 0
+    assert len(list(engine.scan(b""))) == 800
+    assert fetched["rows"] == 800  # unlimited scans still read everything
+    engine.close()
+
+
+def test_limited_scan_refills_a_skewed_shard():
+    # All matching keys land on one shard of a range fleet: the global
+    # limit exceeds the initial per-shard chunk (~limit/N + 1), so the
+    # scan must refill that shard repeatedly — and still honour order,
+    # the limit, and completeness.
+    engine = make_engine(
+        shards=4,
+        partitioner=RangePartitioner([b"m", b"s", b"x"]),
+    )
+    for i in range(120):
+        engine.put(b"a-%06d" % i, b"v%06d" % i)  # all below b"m": shard 0
+    engine.put(b"z-tail", b"last")  # shard 3, beyond the scanned range
+    rows = list(engine.scan(b"a-", b"b", 90))
+    assert len(rows) == 90
+    assert rows == [(b"a-%06d" % i, b"v%06d" % i) for i in range(90)]
+    engine.close()
+
+
+def test_unlimited_scan_streams_every_shard():
+    engine = make_engine(shards=3)
+    expected = {}
+    for i in range(300):
+        expected[b"key-%06d" % i] = b"v%06d" % i
+    for key, value in expected.items():
+        engine.put(key, value)
+    assert list(engine.scan(b"")) == sorted(expected.items())
+    engine.close()

@@ -138,3 +138,152 @@ def test_records_carry_checksums(wal):
     wal.force()
     (record,) = list(wal.records())
     assert record.checksum != 0
+
+
+# ---------------------------------------------------------------------------
+# Accounting invariants under truncate / torn-crash / recovery (property test)
+# ---------------------------------------------------------------------------
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.errors import CrashPoint  # noqa: E402
+
+
+class _TornDisk(SimDisk):
+    """A disk that tears one scheduled write partway through."""
+
+    def __init__(self, model, clock):
+        super().__init__(model, clock)
+        self.tear_fraction: float | None = None
+
+    def write(self, offset: int, nbytes: int) -> float:
+        fraction = self.tear_fraction
+        if fraction is not None:
+            self.tear_fraction = None
+            raise CrashPoint(persisted_bytes=int(nbytes * fraction))
+        return super().write(offset, nbytes)
+
+
+def _check_wal_invariants(wal: WriteAheadLog) -> None:
+    """The accounting every quiescent (post-recovery) WAL must satisfy."""
+    assert wal.durable_lsn <= wal.next_lsn
+    assert 0 <= wal.head_offset <= wal.tail_offset
+    # Live records occupy a contiguous span inside [head, tail]: replay
+    # never reads outside what the device actually holds.
+    assert wal.live_bytes <= wal.tail_offset - wal.head_offset
+
+
+_wal_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(min_value=1, max_value=200)),
+        st.tuples(st.just("force"), st.just(0)),
+        st.tuples(
+            st.just("torn_crash"),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        st.tuples(st.just("truncate"), st.floats(min_value=0.0, max_value=1.0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=_wal_ops)
+def test_wal_accounting_survives_truncate_crash_recover(ops):
+    clock = VirtualClock()
+    disk = _TornDisk(DiskModel.hdd(), clock)
+    wal = WriteAheadLog(disk)
+    acked: set[int] = set()   # lsns whose force completed (durable contract)
+    staged: list[int] = []    # appended, awaiting a force (lost by a crash)
+    floor = 0                 # truncation floor: lsns below are released
+    for kind, arg in ops:
+        if kind == "append":
+            staged.append(wal.append("r", arg, nbytes=arg))
+        elif kind == "force":
+            wal.force()
+            acked.update(staged)
+            staged.clear()
+        elif kind == "truncate":
+            lsn = int(arg * wal.next_lsn)
+            wal.truncate(lsn)
+            floor = max(floor, lsn)
+            acked = {l for l in acked if l >= floor}
+        else:  # torn_crash: tear the force, die, recover via replay
+            if wal.pending_records == 0:
+                continue
+            disk.tear_fraction = arg
+            try:
+                wal.force()
+            except CrashPoint:
+                pass
+            wal.crash()
+            staged.clear()  # un-forced appends died with the process
+            replayed = [r.lsn for r in wal.records()]
+            # Recovery contract: every acked record still in the log
+            # replays, in order; the torn (never-acked) tail is dropped.
+            assert replayed == sorted(replayed)
+            assert acked <= set(replayed) | set(range(floor))
+            acked.update(replayed)
+        if kind != "append":  # pending bytes are not yet accounted on-disk
+            _check_wal_invariants(wal)
+    # Reopen: a final crash + replay must land on consistent accounting
+    # and lose nothing that was acked.
+    wal.crash()
+    survivors = [r.lsn for r in wal.records()]
+    assert acked <= set(survivors) | set(range(floor))
+    _check_wal_invariants(wal)
+    # The log must remain writable after recovery: post-recovery appends
+    # force and replay cleanly over any rolled-back torn region.
+    wal.append("post", 1, nbytes=64)
+    wal.force()
+    assert wal.next_lsn - 1 in {r.lsn for r in wal.records()}
+    _check_wal_invariants(wal)
+
+
+def test_torn_tail_truncation_rolls_back_tail_offset():
+    # A torn force leaves the straddling record's partial bytes on disk;
+    # recovery drops the record AND reclaims its space — the tail rolls
+    # back to where it began, so no dead bytes are stranded inside the
+    # live extent and post-recovery appends overwrite the torn region.
+    clock = VirtualClock()
+    disk = _TornDisk(DiskModel.hdd(), clock)
+    wal = WriteAheadLog(disk)
+    wal.append("good", 1, nbytes=100)
+    wal.force()
+    tail_after_good = wal.tail_offset
+    wal.append("torn", 2, nbytes=100)
+    disk.tear_fraction = 0.5  # 50 of 100 bytes reach the platter
+    try:
+        wal.force()
+    except CrashPoint:
+        pass
+    assert wal.tail_offset == tail_after_good + 50  # partial bytes on disk
+    wal.crash()
+    assert [r.payload for r in wal.records()] == [1]  # torn record dropped
+    assert wal.tail_offset == tail_after_good  # ...and its space reclaimed
+    assert wal.live_bytes == wal.tail_offset - wal.head_offset
+    wal.append("after", 3, nbytes=100)
+    wal.force()
+    assert [r.payload for r in wal.records()] == [1, 3]
+
+
+def test_torn_tail_truncation_of_whole_log_resets_head():
+    clock = VirtualClock()
+    disk = _TornDisk(DiskModel.hdd(), clock)
+    wal = WriteAheadLog(disk)
+    wal.append("only", 1, nbytes=100)
+    disk.tear_fraction = 0.3
+    try:
+        wal.force()
+    except CrashPoint:
+        pass
+    wal.crash()
+    assert list(wal.records()) == []
+    assert wal.head_offset == wal.tail_offset == 0
+    assert wal.live_bytes == 0
