@@ -30,12 +30,20 @@ from repro.analysis.levels import (
     tradeoff_table,
     write_amplification,
 )
+from repro.analysis.stability import (
+    bounded_latency_block,
+    bounded_latency_check,
+    stability_compare_rules,
+    stability_table,
+)
 
 __all__ = [
     "DeviceSpec",
     "STANDARD_DEVICES",
     "bloom_bandwidth_amplification",
     "bloom_read_amplification",
+    "bounded_latency_block",
+    "bounded_latency_check",
     "cache_gb_table",
     "cascade_bandwidth_amplification",
     "cascade_read_amplification",
@@ -56,6 +64,8 @@ __all__ = [
     "policy_write_amplification",
     "read_amplification",
     "read_fanout",
+    "stability_compare_rules",
+    "stability_table",
     "tradeoff_table",
     "write_amplification",
 ]

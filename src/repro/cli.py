@@ -24,6 +24,19 @@ from repro.engines import (
     EngineConfig,
     build_engine,
 )
+from repro.obs.report import (
+    CompareRule,
+    Gate,
+    ReportError,
+    compare_reports,
+    comparison_passed,
+    evaluate_gates,
+    format_comparison,
+    format_gate_table,
+    gates_passed,
+    load_report,
+    new_report,
+)
 from repro.sim import DiskModel
 from repro.ycsb import (
     OpKind,
@@ -362,12 +375,11 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     fleet invariants, resume to completion (the robustness gate).  With
     ``--bench``: run the live split-under-Zipfian-traffic benchmark and
     report p99 timelines against a quiescent baseline; ``--json`` writes
-    the machine-readable result (the ``BENCH_7.json`` format) and
+    the machine-readable result (the shared
+    :class:`~repro.obs.report.BenchReport` envelope) and
     ``--assert-p99-ratio`` turns it into the bounded-stall CI gate.
     Neither flag runs both.
     """
-    import json as _json
-
     run_matrix = args.crash_matrix or not args.bench
     run_bench = args.bench or not args.crash_matrix
     progress = None if args.quiet else (lambda line: print(line, flush=True))
@@ -416,18 +428,42 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
             f"{migration['deferred_steps']} deferred)"
         )
         print(f"  p99 ratio (migrating/quiescent): {result['p99_ratio']:.2f}")
+        config_keys = (
+            "records", "batches", "batch", "value_bytes", "shards", "seed",
+            "hot_fraction",
+        )
+        config = {
+            key: result[key] for key in config_keys if key in result
+        }
+        report = new_report(
+            "live-migration",
+            config,
+            {
+                key: value
+                for key, value in result.items()
+                if key != "bench" and key not in config
+            },
+        )
         if args.json:
-            with open(args.json, "w") as handle:
-                _json.dump(result, handle, indent=1)
+            report.save(args.json)
             print(f"  wrote {args.json}")
-        if migration["completed"] < 1:
-            print("FAIL: no migration completed under traffic")
-            status = 1
-        if args.assert_p99_ratio and result["p99_ratio"] > args.assert_p99_ratio:
-            print(
-                f"FAIL: p99 ratio {result['p99_ratio']:.2f} exceeds bound "
-                f"{args.assert_p99_ratio:.2f}"
+        gates = [
+            Gate(
+                "migrations completed under traffic",
+                "migrating.migration.completed", ">=", 1.0,
+            ),
+        ]
+        if args.assert_p99_ratio:
+            gates.append(
+                Gate(
+                    "migrating/quiescent p99 ratio",
+                    "p99_ratio", "<=", args.assert_p99_ratio, unit="x",
+                )
             )
+        gate_results = evaluate_gates(report, gates)
+        for line in format_gate_table(gate_results):
+            print(f"  {line}")
+        if not gates_passed(gate_results):
             status = 1
     return status
 
@@ -441,12 +477,12 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     (every write forces).  Reports queueing-delay percentiles and their
     timeline, ack latency, forces per commit/op, and the group-size
     histogram.  ``--json`` writes the machine-readable result (the
-    ``BENCH_8.json`` format); ``--assert-force-ratio`` /
-    ``--assert-forces-per-commit`` / ``--assert-queueing-p99`` turn the
-    run into the CI gate.
+    shared :class:`~repro.obs.report.BenchReport` envelope);
+    ``--assert-force-ratio`` / ``--assert-forces-per-commit`` /
+    ``--assert-queueing-p99`` compile into declarative
+    :class:`~repro.obs.report.Gate` rows and turn the run into the CI
+    gate.
     """
-    import json as _json
-
     from repro.ycsb import run_sessions
 
     disk = _disk(args.disk)
@@ -505,55 +541,59 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
     histogram = " ".join(f"{size}x{count}" for size, count in sizes)
     print(f"  group sizes: {histogram}")
     print(f"  force ratio (sync/group): {ratio:.2f}x")
-    if args.json:
-        payload = {
-            "bench": "sessions-group-commit",
-            "config": {
-                "engine": args.engine,
-                "disk": disk.name,
-                "records": args.records,
-                "ops": args.ops,
-                "value_bytes": args.value_bytes,
-                "read_proportion": args.read,
-                "sessions": args.sessions,
-                "offered_rate": args.rate,
-                "arrival": args.arrival,
-                "c0_bytes": args.c0_bytes,
-                "cache_pages": args.cache_pages,
-                "seed": args.seed,
-            },
+    report = new_report(
+        "sessions-group-commit",
+        {
+            "engine": args.engine,
+            "disk": disk.name,
+            "records": args.records,
+            "ops": args.ops,
+            "value_bytes": args.value_bytes,
+            "read_proportion": args.read,
+            "sessions": args.sessions,
+            "offered_rate": args.rate,
+            "arrival": args.arrival,
+            "c0_bytes": args.c0_bytes,
+            "cache_pages": args.cache_pages,
+            "seed": args.seed,
+        },
+        {
             "group": group.summary(),
             "sync": sync.summary(),
             "force_ratio": ratio,
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            _json.dump(payload, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        },
+    )
+    if args.json:
+        report.save(args.json)
         print(f"  wrote {args.json}")
-    status = 0
-    if args.assert_force_ratio > 0 and ratio < args.assert_force_ratio:
-        print(
-            f"FAIL: force ratio {ratio:.2f}x below required "
-            f"{args.assert_force_ratio:.2f}x"
+    gates: list[Gate] = []
+    if args.assert_force_ratio > 0:
+        gates.append(
+            Gate(
+                "force ratio (sync/group)",
+                "force_ratio", ">=", args.assert_force_ratio, unit="x",
+            )
         )
-        status = 1
-    if (
-        args.assert_forces_per_commit > 0
-        and group.forces_per_commit > args.assert_forces_per_commit
-    ):
-        print(
-            f"FAIL: group forces/commit {group.forces_per_commit:.3f} "
-            f"exceeds bound {args.assert_forces_per_commit:.3f}"
+    if args.assert_forces_per_commit > 0:
+        gates.append(
+            Gate(
+                "group forces/commit",
+                "group.forces_per_commit", "<=",
+                args.assert_forces_per_commit,
+            )
         )
-        status = 1
-    p99 = group.queueing.percentile(99.0)
-    if args.assert_queueing_p99 > 0 and p99 > args.assert_queueing_p99:
-        print(
-            f"FAIL: group queueing p99 {p99 * 1e3:.3f} ms exceeds bound "
-            f"{args.assert_queueing_p99 * 1e3:.3f} ms"
+    if args.assert_queueing_p99 > 0:
+        gates.append(
+            Gate(
+                "group queueing p99",
+                "group.queueing.p99", "<=", args.assert_queueing_p99,
+                scale=1e3, unit="ms",
+            )
         )
-        status = 1
-    return status
+    gate_results = evaluate_gates(report, gates)
+    for line in format_gate_table(gate_results):
+        print(f"  {line}")
+    return 0 if gates_passed(gate_results) else 1
 
 
 def _bench_policies(args: argparse.Namespace) -> int:
@@ -568,14 +608,13 @@ def _bench_policies(args: argparse.Namespace) -> int:
     hidden behind filters; each tree drains its merge debt before the
     read phase so policies are compared at equal, settled data volume.
 
-    ``--json`` writes the machine-readable result (the repo's
-    ``BENCH_*.json`` perf-trajectory format); ``--assert-crossover``
-    turns the sweep into the CI gate that tiered write-amp is strictly
-    below leveled's while leveled reads strictly fewer seeks; and
-    ``--assert-blsm3-floor`` guards the paper tree's read throughput
-    against regressions.
+    ``--json`` writes the machine-readable result (the shared
+    :class:`~repro.obs.report.BenchReport` envelope, policies keyed by
+    name); ``--assert-crossover`` turns the sweep into the CI gate that
+    tiered write-amp is strictly below leveled's while leveled reads
+    strictly fewer seeks; and ``--assert-blsm3-floor`` guards the paper
+    tree's read throughput against regressions.
     """
-    import json as _json
     import random
 
     from repro.analysis.amplification import policy_table
@@ -663,9 +702,9 @@ def _bench_policies(args: argparse.Namespace) -> int:
             by_policy["leveled"]["logical_bytes"]
             == by_policy["tiered"]["logical_bytes"]
         )
-    payload = {
-        "bench": "compaction-policy-sweep",
-        "config": {
+    report = new_report(
+        "compaction-policy-sweep",
+        {
             "records": args.records,
             "ops": args.ops,
             "value_bytes": args.value_bytes,
@@ -677,39 +716,39 @@ def _bench_policies(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "with_bloom_filters": False,
         },
-        "policies": rows,
-        "crossover": checks,
-        "analytic": policy_table(
-            names, ratio=args.level_ratio, fanout=args.fanout
-        ),
-    }
+        {
+            "policies": by_policy,
+            "crossover": checks,
+            "analytic": policy_table(
+                names, ratio=args.level_ratio, fanout=args.fanout
+            ),
+        },
+    )
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            _json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        report.save(args.json)
         print(f"wrote {args.json}")
+    gates: list[Gate] = []
     failed = False
     if args.assert_crossover:
         if not checks:
             print("FAIL: crossover assertion needs leveled and tiered runs")
             failed = True
-        for name, passed in checks.items():
-            if not passed:
-                print(f"FAIL: crossover check {name}")
-                failed = True
-    if args.assert_blsm3_floor > 0:
-        blsm3 = by_policy.get("blsm3")
-        if blsm3 is None:
-            print("FAIL: --assert-blsm3-floor needs the blsm3 policy")
-            failed = True
-        elif blsm3["read_ops_per_s"] < args.assert_blsm3_floor:
-            print(
-                f"FAIL: blsm3 read throughput "
-                f"{blsm3['read_ops_per_s']:,.0f} ops/s below floor "
-                f"{args.assert_blsm3_floor:,.0f}"
+        for name in checks:
+            gates.append(
+                Gate(f"crossover: {name}", f"crossover.{name}", "==", 1.0)
             )
-            failed = True
-    return 1 if failed else 0
+    if args.assert_blsm3_floor > 0:
+        gates.append(
+            Gate(
+                "blsm3 read throughput floor",
+                "policies.blsm3.read_ops_per_s", ">=",
+                args.assert_blsm3_floor, unit="ops/s",
+            )
+        )
+    gate_results = evaluate_gates(report, gates)
+    for line in format_gate_table(gate_results):
+        print(line)
+    return 1 if failed or not gates_passed(gate_results) else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -762,28 +801,237 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for line in format_shard_summary(engine):
         print(line)
     engine.close()
-    if args.baseline == "none":
-        return 0
-    base_engine, base_result = measure(
-        args.baseline, data_stripes=args.baseline_stripes
-    )
-    if base_result.throughput > 0:
-        speedup = result.throughput / base_result.throughput
-    else:
-        speedup = float("inf")
-    print(
-        f"base : {base_result.throughput:12,.0f} ops/s "
-        f"({base_engine.name}, {args.baseline_stripes} data device(s))"
-    )
-    print(f"speedup: {speedup:.2f}x")
-    base_engine.close()
-    if args.assert_speedup > 0 and speedup < args.assert_speedup:
-        print(
-            f"FAIL: speedup {speedup:.2f}x below required "
-            f"{args.assert_speedup:.2f}x"
+    config = {
+        "engine": args.engine,
+        "disk": disk.name,
+        "records": args.records,
+        "ops": args.ops,
+        "value_bytes": args.value_bytes,
+        "batch": args.batch,
+        "shards": args.shards,
+        "partitioner": args.partitioner,
+        "c0_bytes": args.c0_bytes,
+        "cache_pages": args.cache_pages,
+        "baseline": args.baseline,
+        "baseline_stripes": args.baseline_stripes,
+        "seed": args.seed,
+    }
+    metrics: dict = {
+        "run": {
+            "engine": engine.name,
+            "throughput": result.throughput,
+            "batch": batch.summary() if batch is not None else {},
+        },
+    }
+    if args.baseline != "none":
+        base_engine, base_result = measure(
+            args.baseline, data_stripes=args.baseline_stripes
         )
-        return 1
-    return 0
+        if base_result.throughput > 0:
+            speedup = result.throughput / base_result.throughput
+        else:
+            speedup = float("inf")
+        print(
+            f"base : {base_result.throughput:12,.0f} ops/s "
+            f"({base_engine.name}, {args.baseline_stripes} data device(s))"
+        )
+        print(f"speedup: {speedup:.2f}x")
+        base_engine.close()
+        metrics["baseline"] = {
+            "engine": base_engine.name,
+            "throughput": base_result.throughput,
+            "stripes": args.baseline_stripes,
+        }
+        metrics["speedup"] = speedup
+    report = new_report("sharded-batch-read", config, metrics)
+    if args.json:
+        report.save(args.json)
+        print(f"wrote {args.json}")
+    gates: list[Gate] = []
+    if args.assert_speedup > 0:
+        gates.append(
+            Gate(
+                "sharded speedup over baseline",
+                "speedup", ">=", args.assert_speedup, unit="x",
+            )
+        )
+    gate_results = evaluate_gates(report, gates)
+    for line in format_gate_table(gate_results):
+        print(line)
+    return 0 if gates_passed(gate_results) else 1
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    """Performance-stability harness (``repro stability``, BENCH_9).
+
+    Sweeps the scheduler/policy matrix under an extended open-loop
+    sessions run, sampling windowed p50/p99/p99.9 write latency,
+    queueing delay, commit-queue depth and the stall/backpressure
+    counters into per-config time-series (docs/benchmarking.md).
+    ``--json`` writes the shared BenchReport envelope (the committed
+    ``BENCH_9.json``); ``--assert-bounded`` gates on the paper's
+    bounded-latency claim — the spring-and-gear p99.9 write-latency
+    ceiling strictly below the unthrottled baseline's.
+    """
+    from repro.analysis.stability import stability_table
+    from repro.ycsb.stability import (
+        STABILITY_MATRIX,
+        run_stability_matrix,
+        stability_report,
+    )
+
+    if args.configs == "all":
+        configs = list(STABILITY_MATRIX.values())
+    else:
+        names = [name.strip() for name in args.configs.split(",") if name.strip()]
+        unknown = [name for name in names if name not in STABILITY_MATRIX]
+        if unknown:
+            raise SystemExit(
+                f"unknown stability config(s) {', '.join(unknown)}; "
+                f"expected one of {', '.join(STABILITY_MATRIX)}"
+            )
+        configs = [STABILITY_MATRIX[name] for name in names]
+    print(
+        f"stability bench: duration={args.duration:g}s rate={args.rate:g}/s "
+        f"sessions={args.sessions} arrival={args.arrival} "
+        f"windows={args.windows} configs={','.join(c.name for c in configs)}"
+    )
+    progress = None if args.quiet else (lambda line: print(line, flush=True))
+    results = run_stability_matrix(
+        configs,
+        progress=progress,
+        duration_seconds=args.duration,
+        rate=args.rate,
+        sessions=args.sessions,
+        arrival=args.arrival,
+        records=args.records,
+        value_bytes=args.value_bytes,
+        read_proportion=args.read,
+        c0_bytes=args.c0_bytes,
+        cache_pages=args.cache_pages,
+        windows=args.windows,
+        seed=args.seed,
+    )
+    report = stability_report(
+        results,
+        {
+            "configs": [c.name for c in configs],
+            "duration_seconds": args.duration,
+            "rate": args.rate,
+            "sessions": args.sessions,
+            "arrival": args.arrival,
+            "records": args.records,
+            "value_bytes": args.value_bytes,
+            "read_proportion": args.read,
+            "c0_bytes": args.c0_bytes,
+            "cache_pages": args.cache_pages,
+            "windows": args.windows,
+            "seed": args.seed,
+        },
+    )
+    print(stability_table(report))
+    if args.json:
+        report.save(args.json)
+        print(f"wrote {args.json}")
+    gates: list[Gate] = []
+    if args.assert_bounded:
+        gates.append(
+            Gate(
+                "bounded write latency (p99.9 ceiling)",
+                "bounded_latency.bounded", "==", 1.0,
+            )
+        )
+    if args.assert_ceiling > 0:
+        gates.append(
+            Gate(
+                "spring_gear p99.9 ceiling",
+                "configs.spring_gear.write_p999_ceiling", "<=",
+                args.assert_ceiling, scale=1e3, unit="ms",
+            )
+        )
+    gate_results = evaluate_gates(report, gates)
+    for line in format_gate_table(gate_results):
+        print(line)
+    return 0 if gates_passed(gate_results) else 1
+
+
+def _compare_rules(baseline, tolerance: float) -> list[CompareRule]:
+    """The default perf-gate rule set for a baseline report's bench."""
+    bench = baseline.bench
+    if bench == "stability":
+        from repro.analysis.stability import stability_compare_rules
+
+        return stability_compare_rules(baseline, tolerance)
+    if bench == "compaction-policy-sweep":
+        rules: list[CompareRule] = []
+        for name in baseline.metrics.get("policies", {}):
+            rules.append(
+                CompareRule(
+                    f"policies.{name}.read_ops_per_s", "higher", tolerance
+                )
+            )
+            rules.append(
+                CompareRule(f"policies.{name}.write_amp", "lower", tolerance)
+            )
+        return rules
+    if bench == "sessions-group-commit":
+        return [
+            CompareRule("force_ratio", "higher", tolerance),
+            CompareRule("group.forces_per_commit", "lower", tolerance),
+            CompareRule("group.ack_latency.p99", "lower", tolerance),
+        ]
+    if bench == "live-migration":
+        return [CompareRule("p99_ratio", "lower", tolerance)]
+    return []
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Bench-report toolbox: validate envelopes, diff against baselines.
+
+    ``repro report PATH...`` loads each file (upgrading legacy
+    BENCH_6/7/8 shapes transparently) and reports whether it parses.
+    ``repro report --compare BASELINE CURRENT`` is the CI perf gate:
+    it derives the bench's default comparison rules and fails on
+    throughput or tail-latency drift beyond ``--tolerance``.
+    """
+    import json as _json
+
+    if args.compare:
+        base_path, cur_path = args.compare
+        baseline = load_report(base_path)
+        current = load_report(cur_path)
+        rules = _compare_rules(baseline, args.tolerance)
+        if not rules:
+            raise SystemExit(
+                f"no default comparison rules for bench {baseline.bench!r}"
+            )
+        print(
+            f"perf gate: {cur_path} vs baseline {base_path} "
+            f"(bench={baseline.bench}, tolerance {args.tolerance:.0%})"
+        )
+        rows = compare_reports(baseline, current, rules)
+        for line in format_comparison(rows):
+            print(line)
+        return 0 if comparison_passed(rows) else 1
+    if not args.paths:
+        raise SystemExit(
+            "repro report: give PATHs to validate, or "
+            "--compare BASELINE CURRENT"
+        )
+    status = 0
+    for path in args.paths:
+        try:
+            report = load_report(path)
+        except (ReportError, OSError, _json.JSONDecodeError) as error:
+            print(f"{path}: INVALID — {error}")
+            status = 1
+            continue
+        legacy = " (legacy, upgraded)" if report.meta.get("legacy") else ""
+        print(
+            f"{path}: OK — bench={report.bench}{legacy}, "
+            f"{len(report.metrics)} metric block(s)"
+        )
+    return status
 
 
 def _cmd_cache_table(args: argparse.Namespace) -> int:
@@ -1220,6 +1468,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail if the group run's queueing-delay p99 exceeds SECONDS",
     )
     sessions.set_defaults(fn=_cmd_sessions)
+
+    stability = sub.add_parser(
+        "stability",
+        help="performance-stability harness: scheduler matrix, p99.9 "
+        "ceilings, stall/backpressure timelines",
+    )
+    stability.add_argument(
+        "--configs", default="all", metavar="A,B,...",
+        help="stability matrix cells to run (default: all of "
+        "spring_gear,gear,unthrottled,leveled,tiered)",
+    )
+    stability.add_argument(
+        "--duration", type=float, default=4.0, metavar="SECONDS",
+        help="offered-load duration in virtual seconds",
+    )
+    stability.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="total offered rate, ops per virtual second",
+    )
+    stability.add_argument(
+        "--sessions", type=int, default=8,
+        help="concurrent open-loop sessions",
+    )
+    stability.add_argument(
+        "--arrival", choices=("uniform", "poisson", "diurnal"),
+        default="poisson",
+    )
+    stability.add_argument("--records", type=int, default=600)
+    stability.add_argument("--value-bytes", type=int, default=100)
+    stability.add_argument(
+        "--read", type=float, default=0.1,
+        help="read proportion (rest are blind writes)",
+    )
+    stability.add_argument("--c0-bytes", type=int, default=48 * 1024)
+    stability.add_argument("--cache-pages", type=int, default=32)
+    stability.add_argument(
+        "--windows", type=int, default=24,
+        help="timeline windows across the run",
+    )
+    stability.add_argument("--seed", type=int, default=0)
+    stability.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the BenchReport envelope to PATH (BENCH_9.json)",
+    )
+    stability.add_argument(
+        "--assert-bounded", action="store_true",
+        help="fail unless the spring_gear p99.9 write-latency ceiling "
+        "is strictly below the unthrottled baseline's",
+    )
+    stability.add_argument(
+        "--assert-ceiling", type=float, default=0.0, metavar="SECONDS",
+        help="fail if the spring_gear p99.9 ceiling exceeds SECONDS",
+    )
+    stability.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    stability.set_defaults(fn=_cmd_stability)
+
+    report = sub.add_parser(
+        "report",
+        help="validate bench-report files; diff a run against a baseline",
+    )
+    report.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="report files to validate (legacy BENCH_* shapes upgrade "
+        "transparently)",
+    )
+    report.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+        help="perf gate: fail on regressions of CURRENT vs BASELINE",
+    )
+    report.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRACTION",
+        help="allowed relative drift per metric (default 0.25)",
+    )
+    report.set_defaults(fn=_cmd_report)
 
     fuzz = sub.add_parser(
         "fuzz",

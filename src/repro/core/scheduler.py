@@ -160,6 +160,7 @@ class SpringGearScheduler(MergeScheduler):
         runtime.metrics.gauge("scheduler.pressure").set(pressure)
         if pressure > 0.0 and not self._engaged:
             self._engaged = True
+            runtime.metrics.counter("scheduler.backpressure_engagements").inc()
             runtime.trace.emit("backpressure_engaged", pressure=pressure)
         elif pressure == 0.0 and self._engaged:
             self._engaged = False

@@ -8,7 +8,24 @@ engine's :class:`EngineRuntime`.
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    BenchReport,
+    CompareRule,
+    Gate,
+    ReportError,
+    compare_reports,
+    evaluate_gates,
+    format_comparison,
+    format_gate_table,
+    load_report,
+    new_report,
+)
 from repro.obs.runtime import EngineRuntime
+from repro.obs.timeline import (
+    WindowedTimeline,
+    percentile,
+    windows_over_span,
+)
 from repro.obs.summary import (
     StallInterval,
     events_within,
@@ -24,15 +41,28 @@ from repro.obs.summary import (
 from repro.obs.trace import TraceEvent, TraceRecorder
 
 __all__ = [
+    "BenchReport",
+    "CompareRule",
     "Counter",
     "EngineRuntime",
+    "Gate",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ReportError",
     "StallInterval",
     "TraceEvent",
     "TraceRecorder",
+    "WindowedTimeline",
+    "compare_reports",
+    "evaluate_gates",
     "events_within",
+    "format_comparison",
+    "format_gate_table",
+    "load_report",
+    "new_report",
+    "percentile",
+    "windows_over_span",
     "format_device_summary",
     "format_fault_summary",
     "format_shard_summary",

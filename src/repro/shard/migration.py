@@ -71,6 +71,7 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryExecutor, RetryPolicy
+from repro.obs.timeline import percentile, windows_over_span
 from repro.shard.partitioner import RangePartitioner
 from repro.sim.clock import VirtualClock
 
@@ -1051,14 +1052,6 @@ def crash_and_recover(engine: "ShardedEngine") -> "ShardedEngine":
 # ----------------------------------------------------------------------
 
 
-def _percentile(values: list[float], q: float) -> float:
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
-    return ordered[index]
-
-
 def live_migration_bench(
     records: int = 2400,
     batches: int = 160,
@@ -1196,36 +1189,13 @@ def live_migration_bench(
                 "final scan diverged from the oracle after migration"
             )
 
-        def timeline(samples: list[tuple[float, float]]) -> list[dict[str, Any]]:
-            if not samples:
-                return []
-            t_end = samples[-1][0] or 1.0
-            span = max(t_end / windows, 1e-9)
-            out = []
-            for window in range(windows):
-                w_lo, w_hi = window * span, (window + 1) * span
-                vals = [
-                    latency
-                    for t, latency in samples
-                    if w_lo <= t < w_hi or (window == windows - 1 and t >= w_hi)
-                ]
-                out.append(
-                    {
-                        "t": w_lo,
-                        "ops": len(vals),
-                        "p50": _percentile(vals, 0.50),
-                        "p99": _percentile(vals, 0.99),
-                    }
-                )
-            return out
-
         result: dict[str, Any] = {
-            "read_windows": timeline(read_lat),
-            "write_windows": timeline(write_lat),
-            "read_p50": _percentile([v for _, v in read_lat], 0.50),
-            "read_p99": _percentile([v for _, v in read_lat], 0.99),
-            "write_p50": _percentile([v for _, v in write_lat], 0.50),
-            "write_p99": _percentile([v for _, v in write_lat], 0.99),
+            "read_windows": windows_over_span(read_lat, windows),
+            "write_windows": windows_over_span(write_lat, windows),
+            "read_p50": percentile([v for _, v in read_lat], 50.0),
+            "read_p99": percentile([v for _, v in read_lat], 99.0),
+            "write_p50": percentile([v for _, v in write_lat], 50.0),
+            "write_p99": percentile([v for _, v in write_lat], 99.0),
             "elapsed_seconds": engine.clock.now,
             "verified": True,
         }

@@ -42,6 +42,15 @@ from repro.ycsb.trace import (
     replay_trace,
     write_trace,
 )
+from repro.ycsb.stability import (
+    STABILITY_MATRIX,
+    StabilityConfig,
+    StabilityResult,
+    default_configs,
+    run_stability,
+    run_stability_matrix,
+    stability_report,
+)
 from repro.ycsb.workload import WorkloadSpec, standard_workload
 
 __all__ = [
@@ -56,10 +65,17 @@ __all__ = [
     "RunResult",
     "run_open_loop",
     "run_sessions",
+    "run_stability",
+    "run_stability_matrix",
     "SessionsResult",
     "ScrambledZipfianChooser",
+    "STABILITY_MATRIX",
+    "StabilityConfig",
+    "StabilityResult",
     "commit_queues",
+    "default_configs",
     "logical_logs",
+    "stability_report",
     "Timeseries",
     "UniformChooser",
     "WorkloadSpec",

@@ -75,6 +75,7 @@ class LatencyStats:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
             "max": self.max,
         }
 

@@ -13,9 +13,10 @@ closed-loop capacity.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.baselines.interface import KVEngine
+from repro.obs.timeline import WindowedTimeline
 from repro.ycsb.generator import OperationGenerator
 from repro.ycsb.metrics import LatencyStats
 from repro.ycsb.runner import execute
@@ -38,6 +39,10 @@ class OpenLoopResult:
     """Virtual seconds from first to last arrival (the offered-load span)."""
     completed_in_window: int = 0
     """Operations whose completion landed inside the arrival window."""
+    timeline: list[dict[str, float]] = field(default_factory=list)
+    """Per-window latency percentile rows (populated when
+    :func:`run_open_loop` was given ``window_seconds``), from the shared
+    :class:`~repro.obs.timeline.WindowedTimeline`."""
 
     @property
     def saturated(self) -> bool:
@@ -71,6 +76,7 @@ def run_open_loop(
     offered_rate: float,
     seed: int = 0,
     poisson: bool = False,
+    window_seconds: float | None = None,
 ) -> OpenLoopResult:
     """Run a workload with arrivals at ``offered_rate`` ops/second.
 
@@ -79,6 +85,9 @@ def run_open_loop(
         poisson: exponential inter-arrival times instead of a fixed
             interval (deterministic arrivals model a paced load
             generator; Poisson models independent clients).
+        window_seconds: when given, also collect a per-window latency
+            percentile timeline (the shared
+            :class:`~repro.obs.timeline.WindowedTimeline` rows).
     """
     if offered_rate <= 0:
         raise ValueError(f"offered_rate must be positive, got {offered_rate}")
@@ -86,6 +95,11 @@ def run_open_loop(
     rng = random.Random(seed + 7)
     clock = engine.clock
     stats = LatencyStats()
+    timeline = (
+        WindowedTimeline(window_seconds, base=clock.now)
+        if window_seconds
+        else None
+    )
     first_arrival: float | None = None
     arrival = clock.now
     interval = 1.0 / offered_rate
@@ -102,6 +116,8 @@ def run_open_loop(
         clock.advance_to(arrival)
         execute(engine, op)
         stats.record(clock.now - arrival)
+        if timeline is not None:
+            timeline.record(arrival, "latency", clock.now - arrival)
         completions.append(clock.now)
         operations += 1
     last_arrival = arrival
@@ -118,4 +134,5 @@ def run_open_loop(
         backlog_seconds=backlog,
         arrival_window=window,
         completed_in_window=in_window,
+        timeline=timeline.rows() if timeline is not None else [],
     )

@@ -31,9 +31,10 @@ import heapq
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.baselines.interface import KVEngine, WriteBatch
+from repro.obs.timeline import WindowedTimeline
 from repro.storage.group_commit import CommitTicket, GroupCommitQueue
 from repro.ycsb.generator import OperationGenerator, OpKind
 from repro.ycsb.metrics import LatencyStats
@@ -60,7 +61,8 @@ class SessionsResult:
     read_latency: LatencyStats
     """Arrival to completion, per read/scan."""
     timeline: list[dict[str, float]]
-    """Per-window queueing-delay percentiles over the run."""
+    """Per-window percentile rows (queue/write/read channels) over the
+    run, from the shared :class:`~repro.obs.timeline.WindowedTimeline`."""
     forces: int
     commits: int
     committed_ops: int
@@ -70,6 +72,9 @@ class SessionsResult:
     arrival_window: float
     completed_in_window: int
     io: dict[str, Any] = field(default_factory=dict)
+    probes: list[dict[str, float]] = field(default_factory=list)
+    """Cumulative engine-metric samples taken at window boundaries
+    (present when :func:`run_sessions` was given a ``probe``)."""
 
     @property
     def forces_per_commit(self) -> float:
@@ -197,6 +202,7 @@ def run_sessions(
     window_seconds: float | None = None,
     diurnal_period: float = 20.0,
     diurnal_amplitude: float = 0.8,
+    probe: Callable[[], dict[str, float]] | None = None,
 ) -> SessionsResult:
     """Drive ``spec`` through N concurrent open-loop sessions.
 
@@ -207,6 +213,13 @@ def run_sessions(
     ``ticket.durable_at`` — the session itself moves on immediately,
     which is what lets a second session's commit join the first's force
     group.  UPDATE/RMW reads the key inline, then commits the write.
+
+    ``probe``, when given, is called at each window boundary (and once
+    before the first arrival and once after the final flush) and must
+    return a flat dict of *cumulative* engine metrics; each sample is
+    stored with the boundary time ``t`` plus the instantaneous commit
+    ``queue_depth``.  The stability bench differences consecutive
+    samples into per-window stall/backpressure timelines.
     """
     if offered_rate <= 0:
         raise ValueError(f"offered_rate must be positive, got {offered_rate}")
@@ -239,22 +252,40 @@ def run_sessions(
     queueing = LatencyStats()
     ack_latency = LatencyStats()
     read_latency = LatencyStats()
-    windows: dict[int, LatencyStats] = {}
+    timeline = WindowedTimeline(window_seconds, base=base)
     outstanding: list[tuple[CommitTicket, float]] = []
     completions: list[float] = []
     operations = reads = writes = 0
     first_arrival: float | None = None
     last_arrival = base
+    probes: list[dict[str, float]] = []
+    probed_through = -1
+
+    def take_probe(index: int, at: float) -> None:
+        nonlocal probed_through
+        if probe is None:
+            return
+        sample: dict[str, float] = {
+            "t": at,
+            "queue_depth": float(len(outstanding)),
+        }
+        sample.update(probe())
+        probes.append(sample)
+        probed_through = index
 
     def resolve_acked() -> None:
         remaining: list[tuple[CommitTicket, float]] = []
         for ticket, arrived in outstanding:
             if ticket.durable_at is not None:
-                ack_latency.record(max(0.0, ticket.durable_at - arrived))
+                latency = max(0.0, ticket.durable_at - arrived)
+                ack_latency.record(latency)
+                timeline.record(arrived, "write", latency)
                 completions.append(ticket.durable_at)
             else:
                 remaining.append((ticket, arrived))
         outstanding[:] = remaining
+
+    take_probe(0, base)
 
     while heap:
         op = next(ops_iter, None)
@@ -280,23 +311,24 @@ def run_sessions(
         # starts the instant it arrives.)
         delay = max(0.0, clock.now - t)
         queueing.record(delay)
-        index = int((t - base) / window_seconds)
-        stats = windows.get(index)
-        if stats is None:
-            stats = windows[index] = LatencyStats()
-        stats.record(delay)
+        index = timeline.index_of(t)
+        timeline.record(t, "queue", delay)
+        if index > probed_through:
+            take_probe(index, timeline.window_start(index))
         clock.advance_to(t)
         resolve_acked()
         operations += 1
         if op.kind is OpKind.READ:
             engine.get(op.key)
             read_latency.record(clock.now - t)
+            timeline.record(t, "read", clock.now - t)
             completions.append(clock.now)
             reads += 1
         elif op.kind is OpKind.SCAN:
             for _ in engine.scan(op.key, limit=op.scan_length):
                 pass
             read_latency.record(clock.now - t)
+            timeline.record(t, "read", clock.now - t)
             completions.append(clock.now)
             reads += 1
         else:
@@ -317,9 +349,12 @@ def run_sessions(
     engine.flush()
     resolve_acked()
     for ticket, arrived in outstanding:
-        ack_latency.record(max(0.0, clock.now - arrived))
+        latency = max(0.0, clock.now - arrived)
+        ack_latency.record(latency)
+        timeline.record(arrived, "write", latency)
         completions.append(clock.now)
     outstanding.clear()
+    take_probe(probed_through + 1, clock.now)
 
     queues = commit_queues(engine)
     group_sizes: dict[int, int] = {}
@@ -327,15 +362,11 @@ def run_sessions(
         for size, count in queue.group_sizes.items():
             group_sizes[size] = group_sizes.get(size, 0) + count
     window = last_arrival - (first_arrival if first_arrival is not None else last_arrival)
-    timeline = [
-        {
-            "t": round(base + index * window_seconds, 9),
-            "ops": float(stats.count),
-            "queue_p99": stats.percentile(99.0),
-            "queue_p999": stats.percentile(99.9),
-        }
-        for index, stats in sorted(windows.items())
-    ]
+    rows = timeline.rows()
+    for row in rows:
+        # Every arrival lands one "queue" sample, so the queue channel's
+        # count is the window's operation count (the legacy "ops" key).
+        row["ops"] = row.get("queue_n", 0.0)
     return SessionsResult(
         engine=engine.name,
         sessions=sessions,
@@ -347,7 +378,7 @@ def run_sessions(
         queueing=queueing,
         ack_latency=ack_latency,
         read_latency=read_latency,
-        timeline=timeline,
+        timeline=rows,
         forces=sum(log.forces for log in logs) - forces_before,
         commits=sum(queue.commits for queue in queues),
         committed_ops=sum(queue.committed_ops for queue in queues),
@@ -359,4 +390,5 @@ def run_sessions(
             1 for done in completions if done <= last_arrival
         ),
         io=engine.io_summary(),
+        probes=probes,
     )
