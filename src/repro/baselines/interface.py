@@ -376,7 +376,7 @@ class KVEngine(ABC):
         else:
             self.put(key, new_value)
         runtime = self.runtime
-        if runtime is not None:
+        if runtime is not None and runtime.trace.enabled:
             runtime.trace.emit("rmw", key=key, nbytes=len(new_value))
         return new_value
 

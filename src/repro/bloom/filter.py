@@ -17,6 +17,8 @@ from __future__ import annotations
 import hashlib
 import math
 
+_blake2b = hashlib.blake2b
+
 _MIN_BITS = 64
 
 
@@ -81,18 +83,32 @@ class BloomFilter:
 
     def add(self, key: bytes) -> None:
         """Insert a key.  Monotonic: bits only ever flip from 0 to 1."""
-        h1, h2 = self._hash_pair(key)
-        for i in range(self._nhashes):
-            bit = (h1 + i * h2) % self._nbits
-            self._bits[bit >> 3] |= 1 << (bit & 7)
+        # h1 + i*h2 computed incrementally with locals bound outside the
+        # loop: adds and probes run per merged record and per point read,
+        # so the k-probe loop is hot.  Bit positions are identical to the
+        # closed form (h1 + i*h2 mod m).
+        digest = _blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full-period
+        bits = self._bits
+        nbits = self._nbits
+        for _ in range(self._nhashes):
+            bit = h1 % nbits
+            bits[bit >> 3] |= 1 << (bit & 7)
+            h1 += h2
         self._ninserted += 1
 
     def __contains__(self, key: bytes) -> bool:
-        h1, h2 = self._hash_pair(key)
-        for i in range(self._nhashes):
-            bit = (h1 + i * h2) % self._nbits
-            if not self._bits[bit >> 3] & (1 << (bit & 7)):
+        digest = _blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full-period
+        bits = self._bits
+        nbits = self._nbits
+        for _ in range(self._nhashes):
+            bit = h1 % nbits
+            if not bits[bit >> 3] & (1 << (bit & 7)):
                 return False
+            h1 += h2
         return True
 
     def to_bytes(self) -> bytes:

@@ -79,9 +79,12 @@ class CompactionTree:
                 log_disk_model=opts.log_disk_model,
                 data_stripes=opts.data_stripes,
                 stripe_chunk_bytes=opts.stripe_chunk_bytes,
+                observability=opts.observability,
             )
         self._policy = self._make_policy(opts)
-        self._memtable = MemTable(opts.c0_bytes, seed=opts.seed)
+        self._memtable = MemTable(
+            opts.c0_bytes, seed=opts.seed, kind=opts.memtable
+        )
         self._manager = LevelManager(self._base_bytes(opts), opts.level_ratio)
         self._job0: PolicyMergeJob | None = None
         self._jobn: PolicyMergeJob | None = None
@@ -137,13 +140,15 @@ class CompactionTree:
         _passes, ctr_bytes, ctr_seconds = self._merge_obs[level]
         ctr_bytes.inc(worked)
         ctr_seconds.inc(seconds)
-        self.runtime.trace.emit(
-            "merge_progress",
-            level=level,
-            worked=worked,
-            seconds=seconds,
-            inprogress=inprogress,
-        )
+        trace = self.runtime.trace
+        if trace.enabled:  # skip the kwargs build when tracing is off
+            trace.emit(
+                "merge_progress",
+                level=level,
+                worked=worked,
+                seconds=seconds,
+                inprogress=inprogress,
+            )
 
     # ------------------------------------------------------------------
     # Public write API
@@ -554,7 +559,11 @@ class CompactionTree:
         flushed = self._memtable.nbytes
         if table is not None:
             self._manager.add_run(0, table)
-        self._memtable = MemTable(self.options.c0_bytes, seed=self.options.seed)
+        self._memtable = MemTable(
+            self.options.c0_bytes,
+            seed=self.options.seed,
+            kind=self.options.memtable,
+        )
         self._ctr_rotations.inc()
         self.runtime.trace.emit(
             "memtable_rotate", kind="flush", frozen_bytes=flushed
@@ -656,7 +665,11 @@ class CompactionTree:
         )
         tree.stasis = stasis
         tree._policy = cls._make_policy(tree.options)
-        tree._memtable = MemTable(tree.options.c0_bytes, seed=tree.options.seed)
+        tree._memtable = MemTable(
+            tree.options.c0_bytes,
+            seed=tree.options.seed,
+            kind=tree.options.memtable,
+        )
         tree._job0 = None
         tree._jobn = None
         tree._next_seqno = 0

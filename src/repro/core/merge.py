@@ -248,8 +248,9 @@ class MergeProcess:
         if take_newer:
             record = self._newer.pop()
             group.append(record)
-            consumed += record.nbytes
-            self.newer_bytes_read += record.nbytes
+            nbytes = record.nbytes
+            consumed += nbytes
+            self.newer_bytes_read += nbytes
             self._note_seqno(record.seqno)
             if self._track_overlay:
                 self.overlay[record.key] = record

@@ -114,13 +114,16 @@ class PartitionedBLSM:
                 log_disk_model=opts.log_disk_model,
                 data_stripes=opts.data_stripes,
                 stripe_chunk_bytes=opts.stripe_chunk_bytes,
+                observability=opts.observability,
             )
         self.max_partition_bytes = (
             max_partition_bytes
             if max_partition_bytes is not None
             else 4 * opts.c0_bytes
         )
-        self._memtable = MemTable(opts.c0_bytes, seed=opts.seed)
+        self._memtable = MemTable(
+            opts.c0_bytes, seed=opts.seed, kind=opts.memtable
+        )
         self._partitions: list[Partition] = [Partition(lo=b"", hi=None)]
         self._next_seqno = 0
         self._next_tree_id = 1
@@ -347,13 +350,15 @@ class PartitionedBLSM:
             _passes, ctr_bytes, ctr_seconds = self._merge_obs[level]
             ctr_bytes.inc(worked)
             ctr_seconds.inc(seconds)
-            self.runtime.trace.emit(
-                "merge_progress",
-                level=level,
-                worked=worked,
-                seconds=seconds,
-                inprogress=process.inprogress,
-            )
+            trace = self.runtime.trace
+            if trace.enabled:  # skip the kwargs build when tracing is off
+                trace.emit(
+                    "merge_progress",
+                    level=level,
+                    worked=worked,
+                    seconds=seconds,
+                    inprogress=process.inprogress,
+                )
         if timeline is None and process.done:
             self._finish_merge(partition, process)
         return worked
@@ -713,7 +718,11 @@ class PartitionedBLSM:
             if max_partition_bytes is not None
             else 4 * tree.options.c0_bytes
         )
-        tree._memtable = MemTable(tree.options.c0_bytes, seed=tree.options.seed)
+        tree._memtable = MemTable(
+            tree.options.c0_bytes,
+            seed=tree.options.seed,
+            kind=tree.options.memtable,
+        )
         tree._merge_epoch = 0
         tree._closed = False
         tree._bg = (

@@ -153,11 +153,19 @@ class SpringGearScheduler(MergeScheduler):
         self.high_water = high_water
         self.max_tick_bytes = max_tick_bytes
         self._engaged = False
+        self._gauge_pressure = None
 
     def _set_pressure(self, pressure: float) -> None:
         """Record spring pressure; emit an event on each transition."""
         runtime = self.runtime
-        runtime.metrics.gauge("scheduler.pressure").set(pressure)
+        # Bind the gauge once: this runs on every write, and a registry
+        # lookup per write is measurable on the hot path.
+        gauge = self._gauge_pressure
+        if gauge is None:
+            gauge = self._gauge_pressure = runtime.metrics.gauge(
+                "scheduler.pressure"
+            )
+        gauge.set(pressure)
         if pressure > 0.0 and not self._engaged:
             self._engaged = True
             runtime.metrics.counter("scheduler.backpressure_engagements").inc()

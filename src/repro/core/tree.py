@@ -77,8 +77,11 @@ class BLSM:
                 log_disk_model=opts.log_disk_model,
                 data_stripes=opts.data_stripes,
                 stripe_chunk_bytes=opts.stripe_chunk_bytes,
+                observability=opts.observability,
             )
-        self._memtable = MemTable(self._c0_capacity, seed=opts.seed)
+        self._memtable = MemTable(
+            self._c0_capacity, seed=opts.seed, kind=opts.memtable
+        )
         self._frozen: MemTable | None = None  # C0' (non-snowshovel mode)
         self._c1: SSTable | None = None
         self._c1_prime: SSTable | None = None
@@ -163,13 +166,15 @@ class BLSM:
         _passes, ctr_bytes, ctr_seconds = self._merge_obs[level]
         ctr_bytes.inc(worked)
         ctr_seconds.inc(seconds)
-        self.runtime.trace.emit(
-            "merge_progress",
-            level=level,
-            worked=worked,
-            seconds=seconds,
-            inprogress=inprogress,
-        )
+        trace = self.runtime.trace
+        if trace.enabled:  # skip the kwargs build when tracing is off
+            trace.emit(
+                "merge_progress",
+                level=level,
+                worked=worked,
+                seconds=seconds,
+                inprogress=inprogress,
+            )
 
     # ------------------------------------------------------------------
     # Public write API
@@ -599,7 +604,11 @@ class BLSM:
         if table is not None:
             self._extras.insert(0, table)  # newest first
         flushed = self._memtable.nbytes
-        self._memtable = MemTable(self._c0_capacity, seed=self.options.seed)
+        self._memtable = MemTable(
+            self._c0_capacity,
+            seed=self.options.seed,
+            kind=self.options.memtable,
+        )
         self._ctr_rotations.inc()
         self.runtime.trace.emit(
             "memtable_rotate", kind="extra_flush", frozen_bytes=flushed
@@ -726,7 +735,11 @@ class BLSM:
         tree = cls.__new__(cls)
         tree.options = options if options is not None else BLSMOptions()
         tree.stasis = stasis
-        tree._memtable = MemTable(tree._c0_capacity, seed=tree.options.seed)
+        tree._memtable = MemTable(
+            tree._c0_capacity,
+            seed=tree.options.seed,
+            kind=tree.options.memtable,
+        )
         tree._frozen = None
         tree._m01 = None
         tree._m01_extra = None
@@ -825,7 +838,11 @@ class BLSM:
 
     def _freeze_memtable(self) -> None:
         self._frozen = self._memtable
-        self._memtable = MemTable(self._c0_capacity, seed=self.options.seed)
+        self._memtable = MemTable(
+            self._c0_capacity,
+            seed=self.options.seed,
+            kind=self.options.memtable,
+        )
         self._ctr_rotations.inc()
         self.runtime.trace.emit(
             "memtable_rotate", kind="freeze", frozen_bytes=self._frozen.nbytes

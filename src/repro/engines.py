@@ -78,6 +78,8 @@ class EngineConfig:
     partitioner_sample: tuple[bytes, ...] | None = None
     migration: bool = False
     seed: int = 0
+    memtable: str = "skiplist"
+    observability: bool = True
 
 
 def blsm_options(config: EngineConfig) -> BLSMOptions:
@@ -94,6 +96,8 @@ def blsm_options(config: EngineConfig) -> BLSMOptions:
         data_stripes=config.data_stripes,
         background_merges=config.background_merges,
         seed=config.seed,
+        memtable=config.memtable,
+        observability=config.observability,
     )
 
 
@@ -145,6 +149,7 @@ def _build_leveldb(config: EngineConfig) -> KVEngine:
         file_bytes=max(16 * 1024, config.c0_bytes // 2),
         level_base_bytes=2 * config.c0_bytes,
         buffer_pool_pages=config.cache_pages,
+        memtable=config.memtable,
     )
 
 

@@ -1,0 +1,225 @@
+"""Swappable ordered-map backends for the C0 memtable.
+
+*The Skiplist-Based LSM Tree* (Szanto) measures how the choice of
+in-memory structure moves ingestion cost: a skip list pays O(log n)
+pointer chasing per insert but drains in order for free; a sorted array
+pays an O(n) memmove per insert (at C speed) but reads and scans with a
+single ``bisect``; a hash map inserts in O(1) and defers *all* ordering
+work to the freeze/drain that turns C0 into a sorted run.  This module
+makes that ablation runnable: every backend implements the same small
+ordered-map surface, :class:`~repro.memtable.memtable.MemTable` wraps
+whichever one :class:`~repro.core.options.BLSMOptions.memtable` names,
+and ``repro profile --memtable all`` sweeps them.
+
+The surface (duck-typed; :class:`~repro.memtable.skiplist.SkipList` is
+the reference implementation):
+
+* ``insert(key, value) -> old`` — insert or overwrite, returning the
+  previous value (or ``None``);
+* ``get(key) -> value | None``; ``remove(key) -> value | None``;
+* ``first()`` / ``ceiling(key)`` — ``(key, value)`` pairs or ``None``;
+* ``__iter__`` / ``iter_from(key)`` — ordered ``(key, value)`` pairs.
+
+Iteration must tolerate concurrent mutation the way the skip list does
+(a consumer may ``put``/``remove`` between yields — snowshoveling does
+exactly that), so the array and dict backends resume by *key*, not by
+index.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Callable, Iterator
+
+from repro.memtable.skiplist import SkipList
+
+__all__ = [
+    "ArrayTable",
+    "DictTable",
+    "MEMTABLE_NAMES",
+    "make_backend",
+]
+
+
+class ArrayTable:
+    """Sorted parallel arrays: ``bisect`` reads, ``insort`` writes.
+
+    Inserting a new key costs an O(n) list shift — but the shift is one
+    C-level ``memmove``, which for C0-sized populations (thousands of
+    keys) competes with the skip list's O(log n) *Python-level* pointer
+    walk.  Point reads and ordered scans are pure ``bisect``/slice work.
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self, seed: int = 0) -> None:
+        # ``seed`` is accepted for interface parity; a sorted array has
+        # no randomized structure to seed.
+        self._keys: list[bytes] = []
+        self._values: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def insert(self, key: bytes, value: Any) -> Any:
+        keys = self._keys
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            old = self._values[index]
+            self._values[index] = value
+            return old
+        keys.insert(index, key)
+        self._values.insert(index, value)
+        return None
+
+    def get(self, key: bytes) -> Any:
+        keys = self._keys
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            return self._values[index]
+        return None
+
+    def remove(self, key: bytes) -> Any:
+        keys = self._keys
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            del keys[index]
+            return self._values.pop(index)
+        return None
+
+    def first(self) -> tuple[bytes, Any] | None:
+        if not self._keys:
+            return None
+        return self._keys[0], self._values[0]
+
+    def ceiling(self, key: bytes) -> tuple[bytes, Any] | None:
+        index = bisect_left(self._keys, key)
+        if index >= len(self._keys):
+            return None
+        return self._keys[index], self._values[index]
+
+    def __iter__(self) -> Iterator[tuple[bytes, Any]]:
+        return self.iter_from(b"")
+
+    def iter_from(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        # Resume by key, not index: the consumer may mutate the table
+        # between yields (snowshoveling does), shifting every index.
+        last: bytes | None = None
+        while True:
+            keys = self._keys
+            index = (
+                bisect_left(keys, key)
+                if last is None
+                else bisect_right(keys, last)
+            )
+            if index >= len(keys):
+                return
+            last = keys[index]
+            yield last, self._values[index]
+
+
+class DictTable:
+    """Hash map with ordering deferred until someone needs it.
+
+    Inserts are O(1) dict stores; the sorted key list is built lazily on
+    the first ordered access after a *new* key arrived (the
+    sorted-on-freeze strategy: a pure ingest phase pays zero ordering
+    cost, then the freeze/drain pays one O(n log n) sort).  Overwrites
+    and removals keep the existing sorted view valid, so a drain loop
+    (``ceiling``/``remove``) sorts once, not per pop.
+    """
+
+    __slots__ = ("_map", "_sorted", "_dirty")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._map: dict[bytes, Any] = {}
+        self._sorted: list[bytes] = []
+        self._dirty = False  # a new key arrived since the last sort
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._map
+
+    def _ensure_sorted(self) -> list[bytes]:
+        if self._dirty:
+            self._sorted = sorted(self._map)
+            self._dirty = False
+        return self._sorted
+
+    def insert(self, key: bytes, value: Any) -> Any:
+        old = self._map.get(key)
+        self._map[key] = value
+        if old is None:
+            self._dirty = True
+        return old
+
+    def get(self, key: bytes) -> Any:
+        return self._map.get(key)
+
+    def remove(self, key: bytes) -> Any:
+        old = self._map.pop(key, None)
+        if old is not None and not self._dirty:
+            index = bisect_left(self._sorted, key)
+            if index < len(self._sorted) and self._sorted[index] == key:
+                del self._sorted[index]
+        return old
+
+    def first(self) -> tuple[bytes, Any] | None:
+        if not self._map:
+            return None
+        key = self._ensure_sorted()[0]
+        return key, self._map[key]
+
+    def ceiling(self, key: bytes) -> tuple[bytes, Any] | None:
+        ordered = self._ensure_sorted()
+        index = bisect_left(ordered, key)
+        if index >= len(ordered):
+            return None
+        found = ordered[index]
+        return found, self._map[found]
+
+    def __iter__(self) -> Iterator[tuple[bytes, Any]]:
+        return self.iter_from(b"")
+
+    def iter_from(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        # Key-resumed like ArrayTable: re-sorts if the consumer inserted
+        # new keys mid-iteration, never yields out of order.
+        last: bytes | None = None
+        while True:
+            ordered = self._ensure_sorted()
+            index = (
+                bisect_left(ordered, key)
+                if last is None
+                else bisect_right(ordered, last)
+            )
+            if index >= len(ordered):
+                return
+            last = ordered[index]
+            yield last, self._map[last]
+
+
+#: Registered memtable backends, in presentation order.  "skiplist" is
+#: the paper-faithful default (LevelDB's memtable structure).
+_BACKENDS: dict[str, Callable[[int], Any]] = {
+    "skiplist": lambda seed: SkipList(seed=seed),
+    "array": lambda seed: ArrayTable(seed=seed),
+    "dict": lambda seed: DictTable(seed=seed),
+}
+
+MEMTABLE_NAMES: tuple[str, ...] = tuple(_BACKENDS)
+
+
+def make_backend(kind: str, seed: int = 0) -> Any:
+    """Build the ordered-map backend ``kind`` names."""
+    try:
+        factory = _BACKENDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown memtable {kind!r}; expected one of {MEMTABLE_NAMES}"
+        ) from None
+    return factory(seed)

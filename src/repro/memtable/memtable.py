@@ -6,6 +6,11 @@ supersedes, and a delta written over a resident version folds immediately
 (C0 is update-in-place, unlike the append-only on-disk components), so
 reads of hot keys stay cheap.
 
+The ordered structure underneath is swappable
+(:mod:`repro.memtable.backends`): the paper-faithful default is a skip
+list, with sorted-array and hash-map alternatives for the Szanto-style
+data-structure ablation (``repro profile --memtable all``).
+
 The memtable tracks its approximate byte footprint; the merge scheduler
 uses the fill fraction of C0 as its primary progress signal
 (Section 4.3).
@@ -15,20 +20,23 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.memtable.skiplist import SkipList
-from repro.records import Record, fold
+from repro.memtable.backends import make_backend
+from repro.records import Record, RecordKind, fold
 
 
 class MemTable:
     """Bounded-memory ordered map of key -> newest :class:`Record`."""
 
-    def __init__(self, capacity_bytes: int, seed: int = 0) -> None:
+    def __init__(
+        self, capacity_bytes: int, seed: int = 0, kind: str = "skiplist"
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError(
                 f"capacity_bytes must be positive, got {capacity_bytes}"
             )
         self.capacity_bytes = capacity_bytes
-        self._tree = SkipList(seed=seed)
+        self.kind = kind
+        self._tree = make_backend(kind, seed=seed)
         self._nbytes = 0
 
     def __len__(self) -> int:
@@ -49,14 +57,33 @@ class MemTable:
         return len(self._tree) == 0
 
     def put(self, record: Record) -> None:
-        """Insert a record, folding onto any resident version of the key."""
-        existing = self._tree.get(record.key)
+        """Insert a record, folding onto any resident version of the key.
+
+        The common case — a base record or tombstone over an older (or
+        absent) version — folds to the new record unchanged, so it takes
+        a single tree traversal: insert, and account using the displaced
+        value.  Only deltas (whose fold *combines* the two versions) and
+        replayed duplicates (older seqno resident wins) pay a second
+        traversal to restore the correct fold result.
+        """
+        tree = self._tree
+        if record.kind is not RecordKind.DELTA:
+            existing = tree.insert(record.key, record)
+            if existing is None:
+                self._nbytes += record.nbytes
+            elif record.seqno > existing.seqno:
+                self._nbytes += record.nbytes - existing.nbytes
+            else:
+                # Crash-replay duplicate: fold() keeps the older record.
+                tree.insert(record.key, existing)
+            return
+        existing = tree.get(record.key)
         if existing is not None:
             merged = fold(record, existing)
-            self._tree.insert(record.key, merged)
+            tree.insert(record.key, merged)
             self._nbytes += merged.nbytes - existing.nbytes
         else:
-            self._tree.insert(record.key, record)
+            tree.insert(record.key, record)
             self._nbytes += record.nbytes
 
     def get(self, key: bytes) -> Record | None:

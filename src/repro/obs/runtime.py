@@ -27,11 +27,20 @@ class EngineRuntime:
         self,
         clock: VirtualClock | None = None,
         trace_capacity: int = DEFAULT_CAPACITY,
+        observability: bool = True,
     ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
         self.metrics = MetricsRegistry()
         self.trace = TraceRecorder(self.clock, capacity=trace_capacity)
         self.disks: list["SimDisk"] = []
+        #: Whether per-access instrumentation (device counters, trace
+        #: events) is recorded at all.  ``False`` is the hot path's
+        #: no-op fast path: devices skip their metric/trace dispatch
+        #: entirely and the trace recorder is disabled, while simulated
+        #: timing and :class:`~repro.sim.stats.IOStats` stay identical.
+        self.observability = observability
+        if not observability:
+            self.trace.enabled = False
 
     @property
     def now(self) -> float:

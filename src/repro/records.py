@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from dataclasses import field as _field
 
 RECORD_HEADER_BYTES = 16  # simulated per-record framing on a data page
 
@@ -55,16 +56,22 @@ class Record:
     kind: RecordKind
     seqno: int
     first_seqno: int = -1
+    nbytes: int = _field(init=False, repr=False, compare=False)
+    """Simulated on-disk footprint; precomputed because merge and
+    memtable accounting read it several times per record and a derived
+    property showed up in hot-path profiles."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "nbytes",
+            RECORD_HEADER_BYTES + len(self.key) + len(self.value),
+        )
 
     @property
     def coverage_start(self) -> int:
         """Oldest write this record's value incorporates."""
         return self.first_seqno if self.first_seqno >= 0 else self.seqno
-
-    @property
-    def nbytes(self) -> int:
-        """Simulated on-disk footprint of this record."""
-        return RECORD_HEADER_BYTES + len(self.key) + len(self.value)
 
     @property
     def is_base(self) -> bool:
@@ -77,6 +84,25 @@ class Record:
     @property
     def is_tombstone(self) -> bool:
         return self.kind is RecordKind.TOMBSTONE
+
+    def checksum_bytes(self) -> bytes:
+        """Canonical byte rendering for payload checksums.
+
+        :func:`repro.storage.checksum.payload_checksum` duck-types this
+        method; one C-level ``%`` format replaces the dataclass ``repr``
+        the generic renderer would otherwise fall back to, which
+        dominated hot-path profiles (every page write and verify
+        checksums its records).
+        """
+        return b"R%d,%d,%d,%d:%s,%d:%s;" % (
+            self.kind,
+            self.seqno,
+            self.first_seqno,
+            len(self.key),
+            self.key,
+            len(self.value),
+            self.value,
+        )
 
     @staticmethod
     def base(

@@ -7,6 +7,17 @@ readers recompute it from what the device "returns" — and a device that
 corrupted or tore the range perturbs the read-back value
 (:data:`CORRUPTION_MASK`), so the comparison fails exactly when the
 stored bytes no longer match what was written (§4.4.2 hardening).
+
+The rendering is type-dispatched rather than ``repr``-based: checksums
+are recomputed within a single run (never persisted across code
+versions), so the only requirements are determinism and that distinct
+payloads render distinctly — each scalar is length- or tag-framed to
+rule out concatenation collisions.  Objects may supply a
+``checksum_bytes()`` method returning their own canonical rendering
+(:class:`~repro.records.Record` does); everything else falls back to
+``repr``.  This matters because checksums sit on the per-operation hot
+path (every log append and every page write/verify), where ``repr`` of
+record dataclasses dominated profiles.
 """
 
 from __future__ import annotations
@@ -16,11 +27,41 @@ import zlib
 CORRUPTION_MASK = 0x5F5F5F5F
 """XOR perturbation applied to a checksum read back from a damaged range."""
 
+_crc32 = zlib.crc32
+
+
+def _update(digest: int, part: object) -> int:
+    """Fold one payload part into a running CRC32."""
+    cls = type(part)
+    if cls is bytes:
+        return _crc32(part, _crc32(b"b%d;" % len(part), digest))
+    if cls is int:
+        return _crc32(b"i%d;" % part, digest)
+    if cls is str:
+        data = part.encode()
+        return _crc32(data, _crc32(b"s%d;" % len(data), digest))
+    if cls is tuple or cls is list:
+        digest = _crc32(b"l%d;" % len(part), digest)
+        for item in part:
+            # Page payloads are sequences of records; resolving their
+            # renderer inline skips a recursive call per element.
+            render = getattr(item, "checksum_bytes", None)
+            if render is not None:
+                digest = _crc32(render(), digest)
+            else:
+                digest = _update(digest, item)
+        return digest
+    if part is None:
+        return _crc32(b"n;", digest)
+    render = getattr(part, "checksum_bytes", None)
+    if render is not None:
+        return _crc32(render(), digest)
+    return _crc32(repr(part).encode(), digest)
+
 
 def payload_checksum(*parts: object) -> int:
     """CRC32 over the canonical byte rendering of ``parts``."""
     digest = 0
     for part in parts:
-        data = part if isinstance(part, bytes) else repr(part).encode()
-        digest = zlib.crc32(data, digest)
+        digest = _update(digest, part)
     return digest

@@ -63,6 +63,13 @@ class PageFile:
         self._pages: dict[int, Any] = {}
         self._sums: dict[int, int] = {}  # page id -> stored checksum
         self.corrupt_reads = 0
+        # Checksums exist to detect device damage, and a device that
+        # never corrupts (plain SimDisk: ``corrupted`` is constant-False
+        # and ``mark_corrupt`` a no-op) can never fail verification —
+        # so computing a checksum per page write and recomputing it per
+        # page read would be pure hot-path overhead.  Only fault-capable
+        # devices (FaultyDisk overrides ``corrupted``) pay for it.
+        self._checksummed = type(disk).corrupted is not SimDisk.corrupted
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._pages
@@ -115,7 +122,8 @@ class PageFile:
                 self.disk.mark_corrupt(offset, self.page_size)
             raise
         self._pages[page_id] = payload
-        self._sums[page_id] = payload_checksum(page_id, payload)
+        if self._checksummed:
+            self._sums[page_id] = payload_checksum(page_id, payload)
 
     def read_run(self, first_page_id: int, count: int) -> list[Any]:
         """Read ``count`` consecutive pages as one contiguous transfer.
@@ -177,13 +185,19 @@ class PageFile:
                     torn_id * self.page_size, self.page_size
                 )
             raise
-        for i, payload in enumerate(payloads):
-            self._pages[first_page_id + i] = payload
-            self._sums[first_page_id + i] = payload_checksum(
-                first_page_id + i, payload
-            )
+        if self._checksummed:
+            for i, payload in enumerate(payloads):
+                self._pages[first_page_id + i] = payload
+                self._sums[first_page_id + i] = payload_checksum(
+                    first_page_id + i, payload
+                )
+        else:
+            for i, payload in enumerate(payloads):
+                self._pages[first_page_id + i] = payload
 
     def _verify(self, page_id: int, payload: Any) -> None:
+        if not self._checksummed:
+            return
         stored = self._sums.get(page_id)
         if stored is None:
             # Pre-checksum page (or direct dict poke in a test): trust it.

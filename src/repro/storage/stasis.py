@@ -61,13 +61,14 @@ class Stasis:
         log_disk_model: DiskModel | None = None,
         data_stripes: int = 1,
         stripe_chunk_bytes: int = 512 * 1024,
+        observability: bool = True,
     ) -> None:
         model = disk_model if disk_model is not None else DiskModel.hdd()
         log_model = log_disk_model if log_disk_model is not None else model
         if data_stripes < 1:
             raise ValueError(f"data_stripes must be >= 1, got {data_stripes}")
         if runtime is None:
-            runtime = EngineRuntime(clock=clock)
+            runtime = EngineRuntime(clock=clock, observability=observability)
         elif clock is not None and runtime.clock is not clock:
             raise ValueError("runtime and clock arguments disagree")
         self.runtime = runtime

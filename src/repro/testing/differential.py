@@ -338,6 +338,17 @@ def default_fuzz_configs(
         configs.append(
             FuzzConfig("blsm-group", builder("blsm", durability="group"))
         )
+        # Memtable ablation backends (repro profile --memtable all): C0
+        # on a sorted array and a hash map must answer every trace
+        # identically to the paper-faithful skip list.
+        from repro.memtable import MEMTABLE_NAMES
+
+        for kind in MEMTABLE_NAMES:
+            if kind == "skiplist":
+                continue  # the default every other config already runs
+            configs.append(
+                FuzzConfig(f"blsm-mt-{kind}", builder("blsm", memtable=kind))
+            )
     return configs
 
 

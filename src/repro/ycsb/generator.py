@@ -97,6 +97,62 @@ class OperationGenerator:
         if batch:
             yield batch
 
+    def prepared_operations(self, value_pool: int = 32) -> list[Operation]:
+        """Materialize the whole operation stream up front, fast.
+
+        The hot-path profiler's generation path: kind draws are chunked
+        into a single ``choices(k=n)`` call, write values come from a
+        small reusable pool (their content is irrelevant — only the
+        size is simulated) and key rendering is cached per chosen
+        index.  Distributions match :meth:`operations` but the RNG draw
+        *order* differs, so the streams are not byte-identical;
+        committed benchmark baselines and replay tests keep using
+        :meth:`operations`.
+        """
+        spec = self.spec
+        rng = self._rng
+        n = spec.operation_count
+        kinds = rng.choices(self._kinds, weights=self._weights, k=n)
+        pool = [
+            make_value(rng, spec.value_bytes)
+            for _ in range(max(1, value_pool))
+        ]
+        pool_n = len(pool)
+        key_cache: dict[int, bytes] = {}
+        ordered = spec.ordered_inserts
+        chooser = self._chooser
+        grow = (
+            chooser.grow if isinstance(chooser, LatestChooser) else None
+        )
+        choose = chooser.next
+        scan_lo, scan_hi = spec.scan_length_min, spec.scan_length_max
+        ops: list[Operation] = []
+        append = ops.append
+        for position, kind in enumerate(kinds):
+            if kind is OpKind.INSERT:
+                key = make_key(self._inserted, ordered)
+                self._inserted += 1
+                if grow is not None:
+                    grow(self._inserted)
+                append(Operation(kind, key, pool[position % pool_n]))
+                continue
+            index = choose(rng)
+            key = key_cache.get(index)
+            if key is None:
+                key = make_key(index, ordered)
+                key_cache[index] = key
+            if kind is OpKind.SCAN:
+                append(
+                    Operation(
+                        kind, key, scan_length=rng.randint(scan_lo, scan_hi)
+                    )
+                )
+            elif kind is OpKind.READ or kind is OpKind.DELETE:
+                append(Operation(kind, key))
+            else:  # UPDATE, BLIND_WRITE, RMW carry a fresh value
+                append(Operation(kind, key, pool[position % pool_n]))
+        return ops
+
     def operations(self):
         """Yield ``spec.operation_count`` operations."""
         spec = self.spec

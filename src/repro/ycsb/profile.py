@@ -1,0 +1,391 @@
+"""The hot-path CPU profiling bench (``repro profile``, BENCH_10).
+
+Every other bench in this repo reports *virtual* time — device service
+charged to the simulated clock.  This one measures the opposite axis:
+how much host CPU the simulator itself burns per operation, because a
+simulator that crawls limits every experiment built on it.  The
+headline metric is **simulated operations per CPU-second**
+(:func:`time.process_time`), driving the default YCSB mix through the
+real engine hot path: SimDisk charging, memtable insert, bloom probes,
+merge scheduling and op generation.
+
+Two measurement surfaces:
+
+* :func:`profile_workload` — load + run one workload against a bLSM
+  engine built with a chosen memtable backend, observability off, ops
+  pre-generated (:meth:`~repro.ycsb.generator.OperationGenerator.
+  prepared_operations`); best-of-``trials`` CPU rate.
+* :func:`memtable_microbench` / :func:`profile_phases` — Szanto-style
+  component costs: per-structure insert/point-read/scan/drain, and
+  per-subsystem op-generation/bloom/disk-charge/metrics-dispatch costs.
+
+Results assemble into the shared :class:`~repro.obs.report.BenchReport`
+envelope (``repro profile --memtable all --json BENCH_10.json``).  The
+committed baseline in :data:`PRE_PR_BASELINE_OPS_PER_CPU_SECOND` is
+what the *pre-optimization* tree sustained on this workload; the
+``speedup_vs_baseline`` metrics gate the optimization work.
+
+CPU-seconds are machine-dependent (unlike every virtual-time metric in
+BENCH_6..9), so baseline comparisons for this bench use deliberately
+wide tolerances and CI floors are set conservatively — the numbers
+move with the host, regressions of interest move multiples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.memtable import MEMTABLE_NAMES, MemTable
+from repro.obs.report import BenchReport, new_report
+from repro.records import Record
+from repro.ycsb.generator import OperationGenerator
+from repro.ycsb.workload import WorkloadSpec, standard_workload
+
+__all__ = [
+    "PRE_PR_BASELINE_OPS_PER_CPU_SECOND",
+    "ProfileResult",
+    "memtable_microbench",
+    "profile_compare_rules",
+    "profile_memtables",
+    "profile_phases",
+    "profile_report",
+    "profile_workload",
+]
+
+#: Simulated ops per CPU-second the tree sustained on this exact
+#: workload (YCSB-A, 2000 records + 10000 ops, closed loop) *before*
+#: the hot-path optimization pass, measured on the reference container.
+#: The ``speedup_vs_baseline`` metrics divide by this.
+PRE_PR_BASELINE_OPS_PER_CPU_SECOND = 11267.0
+
+
+@dataclass
+class ProfileResult:
+    """One memtable configuration's wall-clock profile."""
+
+    memtable: str
+    workload: str
+    records: int
+    operations: int
+    trials: int
+    load_cpu_seconds: float
+    """Load-phase CPU of the best trial."""
+    run_cpu_seconds: float
+    """Measured-phase CPU of the best trial."""
+    trial_rates: list[float]
+    """Total ops/CPU-second of every trial (best-of gates, all shown)."""
+
+    @property
+    def total_ops(self) -> int:
+        return self.records + self.operations
+
+    @property
+    def cpu_seconds(self) -> float:
+        return self.load_cpu_seconds + self.run_cpu_seconds
+
+    @property
+    def ops_per_cpu_second(self) -> float:
+        """Best-of-trials rate (standard practice for CPU microbenches:
+        the minimum time is the least noise-contaminated sample)."""
+        return max(self.trial_rates) if self.trial_rates else 0.0
+
+    @property
+    def speedup_vs_baseline(self) -> float:
+        return self.ops_per_cpu_second / PRE_PR_BASELINE_OPS_PER_CPU_SECOND
+
+    def summary(self) -> dict[str, Any]:
+        """This configuration's metric block in the BENCH_10 report."""
+        return {
+            "memtable": self.memtable,
+            "ops_per_cpu_second": self.ops_per_cpu_second,
+            "speedup_vs_baseline": self.speedup_vs_baseline,
+            "load_cpu_seconds": self.load_cpu_seconds,
+            "run_cpu_seconds": self.run_cpu_seconds,
+            "trial_rates": list(self.trial_rates),
+        }
+
+
+def _cpu_spin(seconds: float) -> None:
+    """Burn ``seconds`` of CPU (the planted-regression shim's engine).
+
+    ``time.sleep`` would not move :func:`time.process_time`, so a
+    regression planted with it would be invisible to a CPU-time gate;
+    a busy spin is what an accidentally-introduced hot-path cost looks
+    like to the profiler.
+    """
+    deadline = time.process_time() + seconds
+    while time.process_time() < deadline:
+        pass
+
+
+def _workload_spec(
+    workload: str, records: int, operations: int
+) -> WorkloadSpec:
+    return standard_workload(workload, records, operations)
+
+
+def profile_workload(
+    memtable: str = "skiplist",
+    workload: str = "a",
+    records: int = 2000,
+    operations: int = 10000,
+    seed: int = 0,
+    trials: int = 1,
+    observability: bool = False,
+    spin_us: float = 0.0,
+) -> ProfileResult:
+    """Measure simulated ops per CPU-second for one memtable backend.
+
+    Builds a fresh bLSM engine per trial (``memtable`` backend,
+    observability off by default — the raw hot path), loads ``records``
+    keys with direct puts, pre-generates the measured operation stream,
+    then drives it through :func:`repro.ycsb.runner.execute` under
+    :func:`time.process_time`.
+
+    Args:
+        trials: independent repetitions; the *best* trial's rate is the
+            reported one (CPU timing noise only ever slows a trial).
+        spin_us: CPU-microseconds burned per measured op — the planted
+            regression shim the gate self-test uses.  Leave 0.
+    """
+    from repro.engines import build_engine
+    from repro.ycsb.runner import execute
+
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    spec = _workload_spec(workload, records, operations)
+    spin = spin_us / 1e6
+    rates: list[float] = []
+    best = (0.0, 0.0)  # (load_cpu, run_cpu) of the best trial
+    for trial in range(trials):
+        engine = build_engine(
+            "blsm",
+            memtable=memtable,
+            observability=observability,
+            seed=seed,
+        )
+        try:
+            generator = OperationGenerator(spec, seed=seed + trial)
+            value = bytes(spec.value_bytes)
+            put = engine.put
+            cpu0 = time.process_time()
+            for key in generator.load_keys():
+                put(key, value)
+            cpu1 = time.process_time()
+            ops = generator.prepared_operations()
+            if spin > 0.0:
+                for op in ops:
+                    execute(engine, op)
+                    _cpu_spin(spin)
+            else:
+                for op in ops:
+                    execute(engine, op)
+            cpu2 = time.process_time()
+        finally:
+            engine.close()
+        load_cpu, run_cpu = cpu1 - cpu0, cpu2 - cpu1
+        total_cpu = max(1e-9, cpu2 - cpu0)
+        rate = (records + operations) / total_cpu
+        rates.append(rate)
+        if rate == max(rates):
+            best = (load_cpu, run_cpu)
+    return ProfileResult(
+        memtable=memtable,
+        workload=workload,
+        records=records,
+        operations=operations,
+        trials=trials,
+        load_cpu_seconds=best[0],
+        run_cpu_seconds=best[1],
+        trial_rates=rates,
+    )
+
+
+def profile_memtables(
+    kinds: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+    **kwargs: Any,
+) -> list[ProfileResult]:
+    """Run :func:`profile_workload` for every requested backend."""
+    results: list[ProfileResult] = []
+    for kind in kinds if kinds is not None else MEMTABLE_NAMES:
+        if progress is not None:
+            progress(f"  profile: memtable={kind}")
+        results.append(profile_workload(memtable=kind, **kwargs))
+    return results
+
+
+def _timed(fn: Callable[[], Any]) -> float:
+    """CPU-seconds ``fn`` takes (one shot; callers scale to per-op)."""
+    start = time.process_time()
+    fn()
+    return max(1e-9, time.process_time() - start)
+
+
+def memtable_microbench(
+    kind: str, n: int = 2000, value_bytes: int = 100, seed: int = 0
+) -> dict[str, float]:
+    """Per-structure component costs, in nanoseconds per operation.
+
+    The Szanto-style ablation detail: the same ``n`` records through
+    each backend's four hot verbs — ``insert``, ``point_read``,
+    ``scan`` (full ordered iteration) and ``drain`` (snowshovel-style
+    first/ceiling/remove sweep, the verb that makes the hash backend
+    pay for its O(1) inserts).
+    """
+    from repro.ycsb.generator import make_key
+
+    value = bytes(value_bytes)
+    keys = [make_key(index, False) for index in range(n)]
+    records = [
+        Record.base(key, value, seqno) for seqno, key in enumerate(keys)
+    ]
+    table = MemTable(1 << 62, seed=seed, kind=kind)
+
+    def insert() -> None:
+        put = table.put
+        for record in records:
+            put(record)
+
+    def point_read() -> None:
+        get = table.get
+        for key in keys:
+            get(key)
+
+    def scan() -> None:
+        for _ in table:
+            pass
+
+    def drain() -> None:
+        cursor = table.first_key()
+        while cursor is not None:
+            table.remove(cursor)
+            cursor = table.ceiling_key(cursor)
+
+    scale = 1e9 / n
+    return {
+        "insert_ns": _timed(insert) * scale,
+        "point_read_ns": _timed(point_read) * scale,
+        "scan_ns": _timed(scan) * scale,
+        "drain_ns": _timed(drain) * scale,
+    }
+
+
+def profile_phases(
+    n: int = 20000, value_bytes: int = 100, seed: int = 0
+) -> dict[str, float]:
+    """Isolated per-subsystem costs, in nanoseconds per call.
+
+    Microbenches the individually-optimized hot-path components so a
+    regression in one shows up attributed, not smeared across the
+    end-to-end rate: YCSB op generation, bloom add+probe, one SimDisk
+    charge, and one metrics-counter dispatch.
+    """
+    from repro.bloom import BloomFilter
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.clock import VirtualClock
+    from repro.sim.disk import DiskModel, SimDisk
+    from repro.ycsb.generator import make_key
+
+    spec = _workload_spec("a", max(1, n // 10), n)
+    generator = OperationGenerator(spec, seed=seed)
+
+    def generate() -> None:
+        generator.prepared_operations()
+
+    keys = [make_key(index, False) for index in range(n)]
+    bloom = BloomFilter(nbits=8 * n, nhashes=4)
+
+    def bloom_probe() -> None:
+        add = bloom.add
+        for key in keys:
+            add(key)
+        for key in keys:
+            key in bloom
+
+    disk = SimDisk(DiskModel.hdd(), VirtualClock())
+
+    def disk_charge() -> None:
+        write = disk.write
+        for index in range(n):
+            write(index * 4096, 4096)
+
+    registry = MetricsRegistry()
+    counter = registry.counter("profile.dispatch")
+
+    def metrics_dispatch() -> None:
+        inc = counter.inc
+        for _ in range(n):
+            inc()
+
+    scale = 1e9 / n
+    return {
+        "op_generation_ns": _timed(generate) * scale,
+        "bloom_add_probe_ns": _timed(bloom_probe) * scale / 2.0,
+        "disk_charge_ns": _timed(disk_charge) * scale,
+        "metrics_dispatch_ns": _timed(metrics_dispatch) * scale,
+    }
+
+
+def profile_report(
+    results: Sequence[ProfileResult],
+    config: dict[str, Any],
+    micro: dict[str, dict[str, float]] | None = None,
+    phases: dict[str, float] | None = None,
+) -> BenchReport:
+    """Assemble profile results into the BENCH_10 envelope.
+
+    ``metrics.best`` is the fastest configuration in the sweep — the
+    ablation's answer to "what should the hot path run on" — and the
+    block the CI perf gate and the 3x-speedup acceptance gate read.
+    """
+    if not results:
+        raise ValueError("profile_report needs at least one result")
+    blocks: dict[str, Any] = {}
+    for result in results:
+        block = result.summary()
+        if micro and result.memtable in micro:
+            block["micro"] = micro[result.memtable]
+        blocks[result.memtable] = block
+    best = max(results, key=lambda result: result.ops_per_cpu_second)
+    metrics: dict[str, Any] = {
+        "memtables": blocks,
+        "best": {
+            "memtable": best.memtable,
+            "ops_per_cpu_second": best.ops_per_cpu_second,
+            "speedup_vs_baseline": best.speedup_vs_baseline,
+        },
+        "baseline_ops_per_cpu_second": PRE_PR_BASELINE_OPS_PER_CPU_SECOND,
+    }
+    default = blocks.get("skiplist")
+    if default is not None:
+        metrics["default"] = {
+            "memtable": "skiplist",
+            "ops_per_cpu_second": default["ops_per_cpu_second"],
+            "speedup_vs_baseline": default["speedup_vs_baseline"],
+        }
+    if phases:
+        metrics["phases"] = phases
+    return new_report("profile", config, metrics)
+
+
+def profile_compare_rules(baseline: BenchReport, tolerance: float):
+    """The perf-gate rules ``repro report --compare`` applies to BENCH_10.
+
+    CPU rates move with the host machine, so the effective tolerance is
+    floored at 50%: cross-machine drift passes, while a genuine hot-path
+    regression (the planted self-test burns >3x) still fails loudly.
+    """
+    from repro.obs.report import CompareRule
+
+    slack = max(tolerance, 0.5)
+    rules = [CompareRule("best.ops_per_cpu_second", "higher", slack)]
+    for kind in baseline.metrics.get("memtables", {}):
+        rules.append(
+            CompareRule(
+                f"memtables.{kind}.ops_per_cpu_second", "higher", slack
+            )
+        )
+    return rules

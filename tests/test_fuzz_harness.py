@@ -339,3 +339,36 @@ def test_fuzz_is_deterministic_across_runs():
     assert first.ok and second.ok
     assert first.ops_replayed == second.ops_replayed
     assert first.configs == second.configs
+
+
+# ----------------------------------------------------------------------
+# Wall-clock budget guard (the fuzzer must stay cheap enough for CI)
+# ----------------------------------------------------------------------
+
+def test_differential_matrix_fits_cpu_budget():
+    """The whole matrix (now including the memtable-ablation configs)
+    must replay a moderate trace within a *generous* CPU budget.  This
+    is the guard against accidental hot-path regressions that would
+    silently turn every fuzz run (and CI job) 10x slower: the budget is
+    ~6x the typical cost on the reference container, so only a real
+    slowdown trips it, never timing noise."""
+    import time
+
+    trace = generate_trace(400, seed=21)
+    start = time.process_time()
+    divergences = run_differential(trace)
+    cpu = time.process_time() - start
+    assert divergences == []
+    assert cpu < 30.0, (
+        f"differential replay of 400 ops took {cpu:.1f} CPU-seconds; "
+        "the fuzz hot path has regressed"
+    )
+
+
+def test_fuzz_budget_seconds_stops_new_rounds():
+    report = fuzz(rounds=50, ops=60, seed=3, faults="none",
+                  budget_seconds=0.0)
+    assert report.ok
+    # The first round always runs (determinism anchor); the budget
+    # stops every later round from starting.
+    assert report.rounds_run == 1

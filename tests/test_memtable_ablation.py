@@ -1,0 +1,215 @@
+"""Property tests for the swappable memtable backends (the ablation).
+
+Every backend behind ``repro profile --memtable all`` must be
+*semantically invisible*: same sorted iteration, same tombstone
+handling, same freeze/rollover behavior as the paper-faithful skip
+list.  These tests pin that equivalence directly (backend vs backend on
+one operation stream) and end to end (full bLSM trees rolling C0 over
+across merges).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import BLSM, BLSMOptions
+from repro.memtable import MEMTABLE_NAMES, MemTable
+from repro.memtable.backends import make_backend
+from repro.records import Record
+
+keys = st.binary(min_size=1, max_size=8)
+values = st.binary(min_size=0, max_size=24)
+settings.register_profile(
+    "ablation",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("ablation")
+
+ALTERNATES = tuple(k for k in MEMTABLE_NAMES if k != "skiplist")
+
+
+def test_registry_names_are_stable():
+    # The profile CLI, fuzz matrix and docs all spell these.
+    assert "skiplist" in MEMTABLE_NAMES
+    assert set(ALTERNATES) == {"array", "dict"}
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown memtable"):
+        make_backend("btree")
+    with pytest.raises(ValueError, match="unknown memtable"):
+        MemTable(1024, kind="btree")
+
+
+def test_options_validate_memtable_kind():
+    with pytest.raises(ValueError, match="unknown memtable"):
+        BLSMOptions(memtable="vector")
+
+
+def test_fuzz_matrix_includes_memtable_variants():
+    from repro.testing.differential import default_fuzz_configs
+
+    labels = {config.label for config in default_fuzz_configs()}
+    for kind in ALTERNATES:
+        assert f"blsm-mt-{kind}" in labels
+
+
+# ----------------------------------------------------------------------
+# Backend-level equivalence (one op stream, every structure)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", MEMTABLE_NAMES)
+@given(ops=st.lists(st.tuples(keys, st.integers(0, 2), values), max_size=120))
+def test_backend_matches_dict_model(kind, ops):
+    backend = make_backend(kind, seed=7)
+    model = {}
+    for key, op, value in ops:
+        if op == 0:
+            backend.insert(key, value)
+            model[key] = value
+        elif op == 1:
+            assert backend.get(key) == model.get(key)
+        else:
+            assert backend.remove(key) == model.pop(key, None)
+    assert len(backend) == len(model)
+    # Sorted iteration is the contract snowshoveling drains depend on.
+    assert [k for k, _ in backend] == sorted(model)
+    if model:
+        smallest = min(model)
+        assert backend.first() == (smallest, model[smallest])
+    else:
+        assert backend.first() is None
+
+
+@pytest.mark.parametrize("kind", ALTERNATES)
+@given(ops=st.lists(st.tuples(keys, st.integers(0, 2), values), max_size=100),
+       probe=keys)
+def test_backend_equivalent_to_skiplist(kind, ops, probe):
+    subject = make_backend(kind, seed=3)
+    reference = make_backend("skiplist", seed=3)
+    for key, op, value in ops:
+        if op == 0:
+            assert subject.insert(key, value) == reference.insert(key, value)
+        elif op == 1:
+            assert subject.get(key) == reference.get(key)
+        else:
+            assert subject.remove(key) == reference.remove(key)
+    assert list(subject) == list(reference)
+    assert subject.ceiling(probe) == reference.ceiling(probe)
+    assert list(subject.iter_from(probe)) == list(reference.iter_from(probe))
+
+
+@pytest.mark.parametrize("kind", MEMTABLE_NAMES)
+@given(ops=st.lists(st.tuples(keys, st.integers(0, 2), values),
+                    min_size=1, max_size=80))
+def test_memtable_tombstones_and_folds_match_skiplist(kind, ops):
+    """Tombstones, deltas and replay duplicates fold identically."""
+    subject = MemTable(1 << 30, seed=5, kind=kind)
+    reference = MemTable(1 << 30, seed=5, kind="skiplist")
+    for seqno, (key, op, value) in enumerate(ops):
+        if op == 0:
+            record = Record.base(key, value, seqno)
+        elif op == 1:
+            record = Record.tombstone(key, seqno)
+        else:
+            record = Record.delta(key, value, seqno)
+        subject.put(record)
+        reference.put(record)
+    assert subject.nbytes == reference.nbytes
+    assert list(subject) == list(reference)
+    for key, *_ in ops:
+        assert subject.get(key) == reference.get(key)
+
+
+@pytest.mark.parametrize("kind", MEMTABLE_NAMES)
+def test_snowshovel_drain_order_matches_skiplist(kind):
+    """first/ceiling/remove sweeps (the C0:C1 drain verbs) agree."""
+    subject = MemTable(1 << 30, seed=1, kind=kind)
+    reference = MemTable(1 << 30, seed=1, kind="skiplist")
+    for seqno in range(64):
+        record = Record.base(b"k%03d" % ((seqno * 37) % 64), b"v", seqno)
+        subject.put(record)
+        reference.put(record)
+    drained_subject, drained_reference = [], []
+    cursor = subject.first_key()
+    while cursor is not None:
+        drained_subject.append(subject.remove(cursor).key)
+        cursor = subject.ceiling_key(cursor)
+    cursor = reference.first_key()
+    while cursor is not None:
+        drained_reference.append(reference.remove(cursor).key)
+        cursor = reference.ceiling_key(cursor)
+    assert drained_subject == drained_reference
+    assert subject.is_empty and reference.is_empty
+
+
+# ----------------------------------------------------------------------
+# End-to-end freeze/rollover equivalence (full trees, tiny C0)
+# ----------------------------------------------------------------------
+
+
+def _drive(tree, seed: int, ops: int = 500):
+    import random
+
+    rng = random.Random(seed)
+    model = {}
+    for step in range(ops):
+        key = b"key%04d" % rng.randrange(120)
+        roll = rng.random()
+        if roll < 0.55:
+            value = bytes([rng.randrange(256)]) * rng.randrange(1, 40)
+            tree.put(key, value)
+            model[key] = value
+        elif roll < 0.75:
+            tree.delete(key)
+            model.pop(key, None)
+        elif roll < 0.9:
+            assert tree.get(key) == model.get(key), (step, key)
+        else:
+            delta = b"+%d" % step
+            tree.apply_delta(key, delta)
+            if key in model:
+                model[key] += delta
+    return model
+
+
+@pytest.mark.parametrize("kind", ALTERNATES)
+def test_tree_rollover_equivalence_vs_skiplist(kind):
+    """A tiny C0 forces many freezes/rollovers; logical state, scans
+    and the snowshovel drain must match the skip-list tree exactly."""
+    subject = BLSM(
+        BLSMOptions(c0_bytes=4096, buffer_pool_pages=16, memtable=kind)
+    )
+    reference = BLSM(
+        BLSMOptions(c0_bytes=4096, buffer_pool_pages=16, memtable="skiplist")
+    )
+    model = _drive(subject, seed=11)
+    reference_model = _drive(reference, seed=11)
+    assert model == reference_model
+    assert list(subject.scan(b"")) == sorted(model.items())
+    assert list(subject.scan(b"")) == list(reference.scan(b""))
+    subject.close()
+    reference.close()
+
+
+@pytest.mark.parametrize("kind", ALTERNATES)
+def test_tree_crash_recovery_with_alternate_memtable(kind):
+    """Rollover + crash + recover on a non-default backend: the log
+    replay path rebuilds C0 through the same MemTable surface."""
+    from repro.storage import DurabilityMode
+
+    options = BLSMOptions(
+        c0_bytes=4096,
+        buffer_pool_pages=16,
+        memtable=kind,
+        durability=DurabilityMode.SYNC,
+    )
+    tree = BLSM(options)
+    model = _drive(tree, seed=23, ops=300)
+    stasis = tree.stasis
+    stasis.crash()
+    recovered = BLSM.recover(stasis, options)
+    assert list(recovered.scan(b"")) == sorted(model.items())
+    recovered.close()

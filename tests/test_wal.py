@@ -133,11 +133,24 @@ def test_live_bytes_tracks_retained_records(wal):
     assert wal.live_bytes == 100
 
 
-def test_records_carry_checksums(wal):
+def test_records_carry_checksums_on_fault_capable_disks():
+    # Checksums exist to catch device damage, so they are only computed
+    # when the device *can* be damaged; a plain SimDisk skips them.
+    from repro.faults.disk import FaultyDisk
+
+    clock = VirtualClock()
+    wal = WriteAheadLog(FaultyDisk(DiskModel.hdd(), clock))
     wal.append("manifest", {"root": 7})
     wal.force()
     (record,) = list(wal.records())
     assert record.checksum != 0
+
+
+def test_plain_disks_skip_checksums(wal):
+    wal.append("manifest", {"root": 7})
+    wal.force()
+    (record,) = list(wal.records())
+    assert record.checksum == 0  # SimDisk can neither corrupt nor tear
 
 
 # ---------------------------------------------------------------------------
